@@ -1,0 +1,89 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it (also saving a copy under ``benchmarks/results/``).  Scale is
+controlled with the ``REPRO_BENCH_MODE`` environment variable:
+
+* ``quick``  (default) — Ciao-profile dataset only, shortened training;
+  the whole suite runs in tens of minutes on one CPU.
+* ``full``   — all three dataset profiles at full training budgets;
+  regenerates every artifact end to end.
+* ``smoke``  — tiny dataset, minimal epochs; a CI-speed sanity pass.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext, default_train_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MODE = os.environ.get("REPRO_BENCH_MODE", "quick")
+
+_MODE_SETTINGS = {
+    "smoke": {
+        "datasets": ("tiny",),
+        "primary": "tiny",
+        "train": dict(epochs=8, batch_size=256, eval_every=2, patience=None),
+        "convergence_epochs": 6,
+        "efficiency_epochs": 2,
+        "num_negatives": 50,
+    },
+    "quick": {
+        "datasets": ("ciao-small",),
+        "primary": "ciao-small",
+        "train": dict(epochs=100, batch_size=1024, eval_every=2, patience=10),
+        "convergence_epochs": 24,
+        "efficiency_epochs": 4,
+        "num_negatives": 100,
+    },
+    "full": {
+        "datasets": ("ciao-small", "epinions-small", "yelp-small"),
+        "primary": "ciao-small",
+        "train": dict(epochs=100, batch_size=1024, eval_every=1, patience=12),
+        "convergence_epochs": 40,
+        "efficiency_epochs": 5,
+        "num_negatives": 100,
+    },
+}
+
+
+def settings():
+    """Scale settings for the active mode."""
+    if MODE not in _MODE_SETTINGS:
+        raise KeyError(f"REPRO_BENCH_MODE must be one of {sorted(_MODE_SETTINGS)}")
+    return _MODE_SETTINGS[MODE]
+
+
+def train_config(**overrides):
+    """The mode's training configuration with optional overrides."""
+    merged = dict(settings()["train"])
+    merged.update(overrides)
+    return default_train_config(**merged)
+
+
+_CONTEXT_CACHE = {}
+
+
+def get_context(name=None) -> ExperimentContext:
+    """Build (and cache) the experiment context for one dataset preset."""
+    name = name or settings()["primary"]
+    if name not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[name] = ExperimentContext.build(
+            name, seed=0, num_negatives=settings()["num_negatives"])
+    return _CONTEXT_CACHE[name]
+
+
+def publish(name: str, text: str) -> None:
+    """Print an artifact and save it under benchmarks/results/."""
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.{MODE}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def shared_store():
+    """Cross-test store so Table III can reuse Table II's runs."""
+    return {}

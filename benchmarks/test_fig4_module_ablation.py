@@ -1,0 +1,22 @@
+"""Fig. 4: module ablation — DGNN vs -M / -τ / -LN."""
+
+from repro.experiments import run_module_ablation
+
+from conftest import MODE, get_context, publish, train_config
+
+
+def test_fig4_module_ablation(benchmark):
+    context = get_context()
+    results = benchmark.pedantic(
+        lambda: run_module_ablation(context, train_config=train_config()),
+        rounds=1, iterations=1)
+    publish("fig4_module_ablation", results.render())
+
+    if MODE == "smoke":
+        return  # plumbing-only at smoke scale; shape claims need real training
+    full = results.metric("DGNN", "hr@10")
+    assert full is not None and full > 0
+    # Shape claim: every removed module costs accuracy (bench-scale slack).
+    for variant in ("-M", "-tau", "-LN"):
+        assert results.metric(variant, "hr@10") <= full * 1.03, (
+            f"{variant} unexpectedly beats the full model")

@@ -1,0 +1,26 @@
+"""Fig. 5: heterogeneous relation ablation — DGNN vs -S / -T / -ST."""
+
+from repro.experiments import run_relation_ablation
+from repro.experiments.ablation import render_relation_ablation_by_n
+
+from conftest import MODE, get_context, publish, train_config
+
+
+def test_fig5_relation_ablation(benchmark):
+    context = get_context()
+    results = benchmark.pedantic(
+        lambda: run_relation_ablation(context, train_config=train_config()),
+        rounds=1, iterations=1)
+    publish("fig5_relation_ablation", render_relation_ablation_by_n(results))
+
+    if MODE == "smoke":
+        return  # plumbing-only at smoke scale; shape claims need real training
+    full = results.metric("DGNN", "hr@10")
+    both_removed = results.metric("-ST", "hr@10")
+    # Shape claims from the paper's Fig. 5 analysis:
+    # 1) the full model beats every ablated variant (with slack);
+    for variant in ("-S", "-T", "-ST"):
+        assert results.metric(variant, "hr@10") <= full * 1.03
+    # 2) removing both relation sets is at least as bad as removing one.
+    assert both_removed <= max(results.metric("-S", "hr@10"),
+                               results.metric("-T", "hr@10")) * 1.03

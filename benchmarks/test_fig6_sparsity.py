@@ -1,0 +1,29 @@
+"""Fig. 6: performance across interaction- and social-sparsity groups."""
+
+from repro.experiments import run_sparsity_experiment
+
+from conftest import MODE, get_context, publish, train_config
+
+
+def test_fig6_sparsity_robustness(benchmark):
+    context = get_context()
+    results = benchmark.pedantic(
+        lambda: run_sparsity_experiment(context, train_config=train_config()),
+        rounds=1, iterations=1)
+    publish("fig6_sparsity", results.render())
+
+    # Structural checks: both axes present, groups ordered sparsest-first.
+    assert set(results.groups) == {"interactions", "social"}
+    for axis, per_model in results.groups.items():
+        for model, groups in per_model.items():
+            assert len(groups) == results.num_groups
+            means = [g["mean_value"] for g in groups]
+            assert means == sorted(means)
+    if MODE == "smoke":
+        return  # plumbing-only at smoke scale; shape claims need real training
+    # Shape claim: DGNN wins (or ties) the majority of groups overall.
+    wins = sum(results.model_wins_group(axis, group)
+               for axis in results.groups
+               for group in range(results.num_groups))
+    total = 2 * results.num_groups
+    assert wins >= total // 2, f"DGNN won only {wins}/{total} sparsity groups"

@@ -1,0 +1,37 @@
+"""Fig. 7: hyperparameter sensitivity (hidden size d, depth L, memories |M|)."""
+
+import pytest
+
+from repro.experiments import run_hyperparameter_sweep
+
+from conftest import MODE, get_context, publish, train_config
+
+GRIDS = {
+    "embed_dim": (4, 8, 16, 32),
+    "num_layers": (0, 1, 2, 3),
+    "num_memory_units": (2, 4, 8, 16),
+}
+
+
+@pytest.mark.parametrize("parameter", sorted(GRIDS))
+def test_fig7_hyperparameter_sweep(benchmark, parameter):
+    context = get_context()
+    values = GRIDS[parameter] if MODE != "smoke" else GRIDS[parameter][:2]
+    results = benchmark.pedantic(
+        lambda: run_hyperparameter_sweep(context, parameter, values,
+                                         train_config=train_config()),
+        rounds=1, iterations=1)
+    publish(f"fig7_sweep_{parameter}", results.render())
+
+    degradation = results.degradation()
+    assert min(degradation.values()) == 0.0
+    assert all(value >= 0.0 for value in degradation.values())
+    if MODE != "smoke":
+        # Shape claims from the paper's Fig. 7 discussion:
+        if parameter == "num_layers":
+            # propagation (L>=1) beats the non-propagation variant (L=0)
+            assert results.metrics[0]["hr@10"] <= max(
+                results.metrics[layer]["hr@10"] for layer in (1, 2, 3))
+        if parameter == "embed_dim":
+            # tiny embeddings underfit: d=4 is never the best setting
+            assert results.best_value() != 4

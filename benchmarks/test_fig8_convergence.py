@@ -1,0 +1,25 @@
+"""Fig. 8: metric trajectory per training epoch for DGNN, DGCF, HGT."""
+
+from repro.experiments import run_convergence_comparison
+
+from conftest import MODE, get_context, publish, settings
+
+
+def test_fig8_convergence(benchmark):
+    context = get_context()
+    epochs = settings()["convergence_epochs"]
+    results = benchmark.pedantic(
+        lambda: run_convergence_comparison(context, epochs=epochs),
+        rounds=1, iterations=1)
+    publish("fig8_convergence", results.render())
+
+    for model, curve in results.curves.items():
+        assert len(curve["hr@10"]) == epochs
+        # every model learns something over the run
+        assert max(curve["hr@10"]) > curve["hr@10"][0] * 0.99
+    if MODE == "smoke":
+        return  # plumbing-only at smoke scale; shape claims need real training
+    # Shape claim (Fig. 8): DGNN's best point dominates DGCF's and HGT's.
+    dgnn_peak = results.final_value("dgnn")
+    assert dgnn_peak >= results.final_value("dgcf") * 0.95
+    assert dgnn_peak >= results.final_value("hgt") * 0.95

@@ -1,0 +1,29 @@
+"""Table I: dataset statistics of the three benchmark profiles."""
+
+from repro.data import PRESETS, dataset_statistics, render_statistics_table
+
+from conftest import publish, settings
+
+
+def test_table1_dataset_statistics(benchmark):
+    names = settings()["datasets"]
+
+    def regenerate():
+        datasets = [PRESETS[name](seed=0) for name in names]
+        return datasets, render_statistics_table(datasets)
+
+    datasets, table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    publish("table1_dataset_stats", table)
+
+    # Shape claims from Table I: Ciao is the densest profile in both
+    # interactions and social ties; the ordering holds all the way down.
+    if len(datasets) == 3:
+        stats = [dataset_statistics(ds) for ds in datasets]
+        interaction = [s["interaction_density_pct"] for s in stats]
+        social = [s["social_density_pct"] for s in stats]
+        assert interaction[0] > interaction[1] > interaction[2]
+        assert social[0] > social[1] > social[2]
+    for dataset in datasets:
+        stats = dataset_statistics(dataset)
+        assert stats["interactions"] > 0
+        assert stats["social_ties"] > 0

@@ -1,0 +1,29 @@
+"""Table III: HR/NDCG at varying top-N (reuses the Table II runs)."""
+
+from test_table2_overall import _get_overall
+
+from conftest import MODE, publish
+
+
+def test_table3_varying_topn(benchmark, shared_store):
+    results = benchmark.pedantic(lambda: _get_overall(shared_store),
+                                 rounds=1, iterations=1)
+    publish("table3_topn", results.render_table3())
+
+    if MODE == "smoke":
+        return  # plumbing-only at smoke scale; shape claims need real training
+    for dataset in results.datasets:
+        for model in results.models:
+            hr5 = results.metric(dataset, model, "hr@5")
+            hr20 = results.metric(dataset, model, "hr@20")
+            if hr5 is None:
+                continue
+            # Monotonicity in N (the paper: "accuracy improves with larger N")
+            assert hr20 >= hr5
+        # Shape claim: DGNN stays in the leading pack at both cutoffs
+        # (see test_table2_overall for the tolerance rationale).
+        for metric in ("hr@5", "hr@20"):
+            dgnn = results.metric(dataset, "dgnn", metric)
+            best_other = max(results.metric(dataset, m, metric) or 0.0
+                             for m in results.models if m != "dgnn")
+            assert dgnn >= best_other * 0.88

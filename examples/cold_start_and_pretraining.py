@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: the paper's future-work directions, working today.
+
+The conclusion of the DGNN paper names two extensions: cold-start
+recommendation and pre-trained side-knowledge learning.  Both are
+implemented in this library; this example exercises them together.
+
+1. **Pre-training**: learn user/item embeddings from the social and
+   item-relation structure alone (no interactions), warm-start DGNN with
+   them, and compare fine-tuning against a cold start.
+2. **Cold-start inference**: embed a brand-new user from nothing but
+   their friend list using the trained propagation operators, and check
+   the zero-shot recommendations against the friends' actual tastes.
+
+Run:  python examples/cold_start_and_pretraining.py
+"""
+
+import numpy as np
+
+from repro.data import build_eval_candidates, leave_one_out, tiny
+from repro.eval import evaluate_model
+from repro.graph import CollaborativeHeteroGraph
+from repro.models import DGNN
+from repro.models.coldstart import recommend_cold_user
+from repro.train import (
+    PretrainConfig,
+    TrainConfig,
+    Trainer,
+    apply_pretrained,
+    pretrain_embeddings,
+)
+
+
+def main() -> None:
+    dataset = tiny(seed=9)
+    split = leave_one_out(dataset, seed=9)
+    candidates = build_eval_candidates(split, num_negatives=100, seed=9)
+    graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+    config = TrainConfig(epochs=20, batch_size=256, eval_every=2, patience=None)
+
+    # --- 1. structural pre-training --------------------------------------
+    user_table, item_table = pretrain_embeddings(
+        graph, embed_dim=16, config=PretrainConfig(epochs=30, seed=0))
+
+    scratch = DGNN(graph, embed_dim=16, seed=0)
+    Trainer(scratch, split, config, candidates).fit()
+    scratch_metrics = evaluate_model(scratch, candidates)
+
+    warm = DGNN(graph, embed_dim=16, seed=0)
+    apply_pretrained(warm, user_table, item_table)
+    Trainer(warm, split, config, candidates).fit()
+    warm_metrics = evaluate_model(warm, candidates)
+
+    print("fine-tuning comparison (HR@10):")
+    print(f"  from scratch:   {scratch_metrics['hr@10']:.4f}")
+    print(f"  pre-trained:    {warm_metrics['hr@10']:.4f}")
+
+    # --- 2. cold-start inference ------------------------------------------
+    # Pretend the most social user is brand new: forget their history and
+    # embed them from their friend list alone.
+    social = graph.social
+    user = int(np.argmax(social.sum(axis=1)))
+    friends = social[user].indices
+    recommendations = recommend_cold_user(warm, friends, top_n=10)
+
+    friend_items = set()
+    for friend in friends:
+        friend_items.update(graph.interaction[friend].indices)
+    overlap = len(set(int(i) for i in recommendations) & friend_items)
+
+    print(f"\ncold-start user cloned from user {user} "
+          f"({len(friends)} friends):")
+    print(f"  zero-shot top-10: {[int(i) for i in recommendations]}")
+    print(f"  {overlap}/10 recommendations overlap the friends' history — "
+          "the social prior at work.")
+
+
+if __name__ == "__main__":
+    main()

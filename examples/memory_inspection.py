@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Scenario: inspecting what DGNN's memory units learned (Fig. 10 style).
+
+Trains DGNN, extracts the per-user memory gate vectors of the social bank
+and the user self bank, and checks the paper's Fig. 10 claim
+quantitatively: users joined by social ties hold more similar social-bank
+attention than random user pairs.  Also prints RGB colourings, which is
+what the paper plots.
+
+Run:  python examples/memory_inspection.py
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentContext,
+    default_train_config,
+    run_memory_attention_study,
+)
+
+
+def main() -> None:
+    context = ExperimentContext.build("tiny", seed=3)
+    print(f"dataset: {context.dataset}\n")
+    config = default_train_config(epochs=30, batch_size=256, eval_every=2,
+                                  patience=6)
+    results = run_memory_attention_study(context, train_config=config,
+                                         embed_dim=16, seed=0)
+    print(results.render())
+
+    colors = results.colors["social-bank"]
+    print("\nRGB colouring of the first 8 users' social-bank attention "
+          "(what Fig. 10 plots):")
+    for user in range(8):
+        r, g, b = colors[user]
+        print(f"  user {user}: ({r:.2f}, {g:.2f}, {b:.2f})")
+
+    gap = results.matched_gap("social-bank", "social-ties")
+    print(f"\nsocial-bank coherence gap on social ties: {gap:+.4f} "
+          f"({'consistent with' if gap > 0 else 'contradicts'} Fig. 10)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: train DGNN on a synthetic social-recommendation benchmark.
+
+Covers the core workflow end to end:
+
+1. generate a dataset (users, items, social ties, item relations),
+2. hold out one test item per user,
+3. build the collaborative heterogeneous graph,
+4. train DGNN with BPR,
+5. evaluate with the paper's 1-positive + 100-negative protocol,
+6. produce recommendations for a user.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import build_eval_candidates, leave_one_out, tiny
+from repro.eval import evaluate_model
+from repro.graph import CollaborativeHeteroGraph
+from repro.models import DGNN
+from repro.train import TrainConfig, Trainer
+
+
+def main() -> None:
+    # 1. A small synthetic dataset (see repro.data.synthetic for knobs).
+    dataset = tiny(seed=42)
+    print(f"dataset: {dataset}")
+
+    # 2. Leave-one-out split + fixed evaluation candidates.
+    split = leave_one_out(dataset, seed=42)
+    candidates = build_eval_candidates(split, num_negatives=100, seed=42)
+    print(f"split:   {split}")
+
+    # 3. The collaborative heterogeneous graph (Eq. 1 of the paper):
+    #    interactions Y + social ties S + item relations T.
+    graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+    print(f"graph:   {graph}")
+
+    # 4. DGNN with the paper's defaults (d=16, L=2, |M|=8).
+    model = DGNN(graph, embed_dim=16, num_layers=2, num_memory_units=8, seed=0)
+    print(f"model:   dgnn with {model.num_parameters()} parameters")
+
+    config = TrainConfig(epochs=30, batch_size=256, learning_rate=0.01,
+                         l2=1e-4, eval_every=2, patience=5, verbose=True)
+    history = Trainer(model, split, config, candidates).fit()
+
+    # 5. Final metrics (best checkpoint restored by early stopping).
+    metrics = evaluate_model(model, candidates)
+    print("\nfinal metrics:")
+    for name, value in sorted(metrics.items()):
+        print(f"  {name:10s} {value:.4f}")
+    print(f"best epoch: {history.best_epoch + 1} of {history.epochs_run}")
+
+    # 6. Top-5 recommendations for user 0 (training items excluded).
+    top = model.recommend(user=0, top_n=5)
+    print(f"\ntop-5 items for user 0: {[int(item) for item in top]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scenario: recommending for near-cold-start users with social context.
+
+The paper's motivating claim (RQ4 / Fig. 6): when users have few
+interactions, heterogeneous side information — who they trust, and how
+items relate — substitutes for the missing behavioural signal.  This
+example builds a benchmark with a pronounced sparse-user population,
+trains plain matrix factorization and DGNN under identical settings, and
+compares them per interaction-sparsity quartile.
+
+Run:  python examples/social_cold_start.py
+"""
+
+import numpy as np
+
+from repro.data import SyntheticConfig, build_eval_candidates, generate_dataset, leave_one_out
+from repro.eval import evaluate_by_group
+from repro.graph import CollaborativeHeteroGraph
+from repro.models import BprMF, DGNN
+from repro.train import TrainConfig, Trainer
+
+
+def main() -> None:
+    # Heavy-tailed interactions (many users with barely 3) but a dense,
+    # homophilous trust network.
+    config = SyntheticConfig(
+        num_users=150, num_items=500, num_relations=8, num_communities=6,
+        mean_interactions=5.0, min_interactions=3, mean_social_degree=8.0,
+        homophily=0.9, seed=7, name="cold-start-demo")
+    dataset = generate_dataset(config)
+    split = leave_one_out(dataset, seed=7)
+    candidates = build_eval_candidates(split, num_negatives=100, seed=7)
+    graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+    print(f"dataset: {dataset}")
+
+    train_config = TrainConfig(epochs=40, batch_size=256, eval_every=2,
+                               patience=6)
+    models = {
+        "bpr-mf": BprMF(graph, embed_dim=16, seed=0),
+        "dgnn": DGNN(graph, embed_dim=16, seed=0),
+    }
+    interaction_counts = dataset.user_degrees(split.train_pairs)[candidates.users]
+
+    print(f"\n{'model':<8} " + " ".join(f"{f'Q{q + 1}':>8}" for q in range(4))
+          + "   (HR@10 per interaction-sparsity quartile, sparsest first)")
+    for name, model in models.items():
+        Trainer(model, split, train_config, candidates).fit()
+        groups = evaluate_by_group(model, candidates,
+                                   interaction_counts.astype(float),
+                                   num_groups=4, ks=(10,))
+        row = " ".join(f"{g['hr@10']:>8.4f}" for g in groups)
+        print(f"{name:<8} {row}")
+
+    print("\nThe sparsest quartile (Q1) is where the social and item-relation "
+          "context matters most — DGNN's margin should be widest there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — reproduction of *Disentangled Graph Social Recommendation* (ICDE 2023).
+
+The package is organized as:
+
+- :mod:`repro.autograd` / :mod:`repro.nn` — numpy deep-learning substrate
+  (reverse-mode autograd, layers, optimizers);
+- :mod:`repro.data` — dataset container, synthetic Ciao/Epinions/Yelp-style
+  generators, splits and samplers;
+- :mod:`repro.graph` — the collaborative heterogeneous graph (Eq. 1);
+- :mod:`repro.models` — DGNN (the paper's model) and every compared baseline;
+- :mod:`repro.train` / :mod:`repro.eval` — BPR training and the
+  1-positive + 100-negative ranking protocol (HR@N / NDCG@N);
+- :mod:`repro.viz` — t-SNE and memory-attention visualization;
+- :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["autograd", "nn", "data", "graph", "models", "train", "eval", "viz", "experiments"]

@@ -1,0 +1,21 @@
+"""Post-hoc analysis of trained models: disentanglement and error structure."""
+
+from repro.analysis.disentanglement import (
+    gate_entropy,
+    gate_specialization,
+    unit_usage,
+    disentanglement_report,
+)
+from repro.analysis.errors import (
+    performance_by_item_popularity,
+    performance_by_user_degree,
+)
+
+__all__ = [
+    "gate_entropy",
+    "gate_specialization",
+    "unit_usage",
+    "disentanglement_report",
+    "performance_by_user_degree",
+    "performance_by_item_popularity",
+]

@@ -1,0 +1,582 @@
+"""Differentiable operations for :class:`repro.autograd.Tensor`.
+
+Each op validates inputs, computes the numpy forward result, and registers
+a backward closure that reads ``out.grad`` and accumulates into the
+parents.  Broadcasting follows numpy semantics; gradients of broadcast
+operands are reduced back to the operand shape by :func:`_unbroadcast`.
+
+The op set is grouped as:
+
+* arithmetic — ``add``, ``sub``, ``mul``, ``div``, ``neg``, ``power``
+* linear algebra — ``matmul`` (2-D), ``spmm`` (scipy.sparse constant @ dense)
+* shape — ``reshape``, ``transpose``, ``cat``, ``stack``, ``getitem``
+* reductions — ``sum``, ``mean``
+* indexing / graph — ``gather_rows``, ``segment_sum``, ``segment_softmax``
+* nonlinearities — ``exp``, ``log``, ``sqrt``, ``relu``, ``leaky_relu``,
+  ``sigmoid``, ``tanh``, ``softplus``, ``log_sigmoid``, ``softmax``,
+  ``maximum``, ``where``
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _normalize_axis(axis: Axis, ndim: int) -> Optional[Tuple[int, ...]]:
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a, b) -> Tensor:
+    """Elementwise ``a + b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data + b.data
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(_unbroadcast(out.grad, a.shape))
+            b._accumulate(_unbroadcast(out.grad, b.shape))
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def sub(a, b) -> Tensor:
+    """Elementwise ``a - b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data - b.data
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(_unbroadcast(out.grad, a.shape))
+            b._accumulate(_unbroadcast(-out.grad, b.shape))
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def mul(a, b) -> Tensor:
+    """Elementwise ``a * b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data * b.data
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(_unbroadcast(out.grad * b.data, a.shape))
+            b._accumulate(_unbroadcast(out.grad * a.data, b.shape))
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def div(a, b) -> Tensor:
+    """Elementwise ``a / b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data / b.data
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(_unbroadcast(out.grad / b.data, a.shape))
+            b._accumulate(_unbroadcast(-out.grad * a.data / (b.data * b.data), b.shape))
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def neg(a) -> Tensor:
+    """Elementwise negation."""
+    a = as_tensor(a)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(-out.grad)
+
+        return backward
+
+    return Tensor._make(-a.data, (a,), factory)
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a scalar exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    data = a.data ** exponent
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * exponent * a.data ** (exponent - 1.0))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a, b) -> Tensor:
+    """Matrix product of 1-D/2-D tensors (``a @ b``)."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim > 2 or b.ndim > 2:
+        raise ValueError("matmul supports only 1-D and 2-D operands; "
+                         "reshape batched operands explicitly")
+    data = a.data @ b.data
+
+    def factory(out: Tensor):
+        def backward():
+            grad = out.grad
+            a_data, b_data = a.data, b.data
+            if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
+                a._accumulate(grad * b_data)
+                b._accumulate(grad * a_data)
+            elif a.ndim == 1:  # (d,) @ (d, k) -> (k,)
+                a._accumulate(grad @ b_data.T)
+                b._accumulate(np.outer(a_data, grad))
+            elif b.ndim == 1:  # (n, d) @ (d,) -> (n,)
+                a._accumulate(np.outer(grad, b_data))
+                b._accumulate(a_data.T @ grad)
+            else:
+                a._accumulate(grad @ b_data.T)
+                b._accumulate(a_data.T @ grad)
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def spmm(matrix: sp.spmatrix, dense) -> Tensor:
+    """Sparse-constant times dense-tensor product.
+
+    ``matrix`` is a fixed (non-differentiable) scipy sparse matrix of shape
+    ``(m, n)``; ``dense`` is an ``(n, d)`` (or ``(n,)``) tensor.  Used for
+    all neighbourhood aggregations: the normalized adjacency is constant,
+    the node features flow gradients.
+    """
+    dense = as_tensor(dense)
+    if not sp.issparse(matrix):
+        raise TypeError("spmm expects a scipy.sparse matrix as the first operand")
+    matrix = matrix.tocsr()
+    data = matrix @ dense.data
+    matrix_t = matrix.T.tocsr()
+
+    def factory(out: Tensor):
+        def backward():
+            dense._accumulate(matrix_t @ out.grad)
+
+        return backward
+
+    return Tensor._make(data, (dense,), factory)
+
+
+# ----------------------------------------------------------------------
+# Shape ops
+# ----------------------------------------------------------------------
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    """Return ``a`` viewed with a new shape."""
+    a = as_tensor(a)
+    shape = tuple(int(s) for s in shape)
+    data = a.data.reshape(shape)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad.reshape(a.shape))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute tensor axes (defaults to full reversal, like ``.T``)."""
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(range(a.ndim))[::-1]
+    axes = tuple(int(ax) for ax in axes)
+    inverse = tuple(np.argsort(axes))
+    data = a.data.transpose(axes)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad.transpose(inverse))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("cat requires at least one tensor")
+    axis = axis % tensors[0].ndim if tensors[0].ndim else 0
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def factory(out: Tensor):
+        def backward():
+            slicer = [builtins.slice(None)] * out.grad.ndim
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer[axis] = builtins.slice(int(start), int(stop))
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+        return backward
+
+    return Tensor._make(data, tensors, factory)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def factory(out: Tensor):
+        def backward():
+            grads = np.moveaxis(out.grad, axis, 0)
+            for tensor, grad in zip(tensors, grads):
+                tensor._accumulate(grad)
+
+        return backward
+
+    return Tensor._make(data, tensors, factory)
+
+
+def getitem(a, index) -> Tensor:
+    """Index/slice ``a``; integer-array indices scatter-add on backward."""
+    a = as_tensor(a)
+    if isinstance(index, Tensor):
+        index = index.data.astype(np.int64)
+    data = a.data[index]
+
+    def factory(out: Tensor):
+        def backward():
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, index, out.grad)
+            a._accumulate(grad)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def gather_rows(a, indices) -> Tensor:
+    """Gather rows ``a[indices]`` for an integer index array.
+
+    Equivalent to an embedding lookup; the backward pass scatter-adds the
+    incoming gradient into the selected rows.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    return getitem(a, indices)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis`` (all axes if ``None``)."""
+    a = as_tensor(a)
+    norm_axis = _normalize_axis(axis, a.ndim)
+    data = a.data.sum(axis=norm_axis, keepdims=keepdims)
+
+    def factory(out: Tensor):
+        def backward():
+            grad = out.grad
+            if norm_axis is not None and not keepdims:
+                for ax in sorted(norm_axis):
+                    grad = np.expand_dims(grad, ax)
+            a._accumulate(np.broadcast_to(grad, a.shape))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis`` (all axes if ``None``)."""
+    a = as_tensor(a)
+    norm_axis = _normalize_axis(axis, a.ndim)
+    if norm_axis is None:
+        count = a.data.size
+    else:
+        count = int(np.prod([a.shape[ax] for ax in norm_axis]))
+    data = a.data.mean(axis=norm_axis, keepdims=keepdims)
+
+    def factory(out: Tensor):
+        def backward():
+            grad = out.grad / count
+            if norm_axis is not None and not keepdims:
+                for ax in sorted(norm_axis):
+                    grad = np.expand_dims(grad, ax)
+            a._accumulate(np.broadcast_to(grad, a.shape))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+# ----------------------------------------------------------------------
+# Segment ops (graph aggregation along explicit edge lists)
+# ----------------------------------------------------------------------
+def segment_sum(a, segment_ids, num_segments: int) -> Tensor:
+    """Sum rows of ``a`` that share a segment id.
+
+    ``a`` has shape ``(E, ...)``; ``segment_ids`` is an ``(E,)`` integer
+    array with values in ``[0, num_segments)``.  Returns a tensor of shape
+    ``(num_segments, ...)``.  The backward pass gathers the incoming
+    gradient by segment id.
+    """
+    a = as_tensor(a)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or segment_ids.shape[0] != a.shape[0]:
+        raise ValueError("segment_ids must be 1-D and match a.shape[0]")
+    data = np.zeros((num_segments,) + a.shape[1:], dtype=np.float64)
+    np.add.at(data, segment_ids, a.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad[segment_ids])
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def segment_softmax(scores, segment_ids, num_segments: int, eps: float = 1e-12) -> Tensor:
+    """Softmax of per-edge ``scores`` grouped by target segment.
+
+    Composed from primitive ops so it is differentiable end to end; the
+    per-segment max used for numerical stability is treated as a constant
+    shift, which does not alter the softmax gradient.
+    """
+    scores = as_tensor(scores)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    shift = np.full(num_segments, -np.inf)
+    np.maximum.at(shift, segment_ids, scores.data)
+    shift[~np.isfinite(shift)] = 0.0
+    shifted = sub(scores, Tensor(shift[segment_ids]))
+    exps = exp(shifted)
+    denom = segment_sum(exps, segment_ids, num_segments)
+    denom_per_edge = gather_rows(denom, segment_ids)
+    return div(exps, add(denom_per_edge, Tensor(np.array(eps))))
+
+
+# ----------------------------------------------------------------------
+# Nonlinearities
+# ----------------------------------------------------------------------
+def exp(a) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    data = np.exp(a.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * out.data)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    data = np.log(a.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad / a.data)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def sqrt(a) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+    data = np.sqrt(a.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * 0.5 / out.data)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def relu(a) -> Tensor:
+    """Rectified linear unit."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    data = np.where(mask, a.data, 0.0)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * mask)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def leaky_relu(a, negative_slope: float = 0.2) -> Tensor:
+    """LeakyReLU with the paper's default negative slope of 0.2."""
+    a = as_tensor(a)
+    slope = float(negative_slope)
+    mask = a.data > 0
+    data = np.where(mask, a.data, slope * a.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * np.where(mask, 1.0, slope))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def sigmoid(a) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    a = as_tensor(a)
+    x = a.data
+    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
+                    np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def tanh(a) -> Tensor:
+    """Hyperbolic tangent."""
+    a = as_tensor(a)
+    data = np.tanh(a.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(out.grad * (1.0 - out.data * out.data))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def softplus(a) -> Tensor:
+    """Numerically stable ``log(1 + exp(a))``."""
+    a = as_tensor(a)
+    x = a.data
+    data = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+    def factory(out: Tensor):
+        def backward():
+            sig = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
+                           np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+            a._accumulate(out.grad * sig)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def log_sigmoid(a) -> Tensor:
+    """Stable ``log(sigmoid(a)) == -softplus(-a)`` (the BPR loss kernel)."""
+    return neg(softplus(neg(a)))
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-shift stabilization."""
+    a = as_tensor(a)
+    axis = axis % a.ndim
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def factory(out: Tensor):
+        def backward():
+            s = out.data
+            dot = (out.grad * s).sum(axis=axis, keepdims=True)
+            a._accumulate((out.grad - dot) * s)
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max; ties send the gradient to the first operand."""
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = a.data >= b.data
+    data = np.where(take_a, a.data, b.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(_unbroadcast(out.grad * take_a, a.shape))
+            b._accumulate(_unbroadcast(out.grad * ~take_a, b.shape))
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition is constant)."""
+    a, b = as_tensor(a), as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(_unbroadcast(out.grad * condition, a.shape))
+            b._accumulate(_unbroadcast(out.grad * ~condition, b.shape))
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
+def dropout(a, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero entries with probability ``rate`` and rescale."""
+    a = as_tensor(a)
+    if not training or rate <= 0.0:
+        return a
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    keep = (rng.random(a.shape) >= rate) / (1.0 - rate)
+    return mul(a, Tensor(keep))

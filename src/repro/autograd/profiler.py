@@ -1,0 +1,97 @@
+"""Op-level profiling for the autograd engine.
+
+The paper's Section IV-D argues DGNN's cost is ``O(|M|·|E|·d²)`` and
+that per-node gating beats per-edge attention.  This profiler makes such
+claims measurable on the actual implementation: within a
+:class:`profile` context every op call (forward) is timed by op name, so
+model forward passes can be decomposed into spmm / matmul / elementwise
+time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.autograd import ops as _ops
+
+# Ops worth timing (public differentiable entry points).
+_PROFILED_OPS = (
+    "add", "sub", "mul", "div", "neg", "power", "matmul", "spmm",
+    "reshape", "transpose", "cat", "stack", "getitem", "sum", "mean",
+    "segment_sum", "exp", "log", "sqrt", "relu", "leaky_relu", "sigmoid",
+    "tanh", "softplus", "softmax", "maximum", "where",
+)
+
+
+@dataclass
+class OpStats:
+    """Accumulated timing for one op."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ProfileReport:
+    """Per-op timings collected by :class:`profile`."""
+
+    stats: Dict[str, OpStats] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        entry = self.stats.setdefault(name, OpStats())
+        entry.calls += 1
+        entry.seconds += seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.stats.values())
+
+    def top(self, count: int = 10) -> List[tuple]:
+        """The ``count`` most expensive ops as ``(name, seconds, calls)``."""
+        ordered = sorted(self.stats.items(), key=lambda kv: -kv[1].seconds)
+        return [(name, entry.seconds, entry.calls)
+                for name, entry in ordered[:count]]
+
+    def render(self) -> str:
+        lines = [f"{'op':<14}{'calls':>8}{'seconds':>10}{'share':>8}"]
+        total = max(self.total_seconds, 1e-12)
+        for name, seconds, calls in self.top(len(self.stats)):
+            lines.append(f"{name:<14}{calls:>8}{seconds:>10.4f}"
+                         f"{seconds / total:>8.1%}")
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def profile():
+    """Context manager that times every profiled op call.
+
+    Yields a :class:`ProfileReport` that fills as ops execute.  Nested
+    profiles are not supported (the outermost wins); the op table is
+    restored on exit even on error.
+    """
+    report = ProfileReport()
+    originals = {}
+
+    def wrap(name, fn):
+        @functools.wraps(fn)
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                report.record(name, time.perf_counter() - start)
+
+        return timed
+
+    for name in _PROFILED_OPS:
+        originals[name] = getattr(_ops, name)
+        setattr(_ops, name, wrap(name, originals[name]))
+    try:
+        yield report
+    finally:
+        for name, fn in originals.items():
+            setattr(_ops, name, fn)

@@ -1,0 +1,151 @@
+"""The :class:`InteractionDataset` container.
+
+Holds exactly the three inputs the paper's task definition names
+(Section III): the user-item interaction matrix ``Y``, the user-user
+social matrix ``S``, and the item-relation matrix ``T``.  Edges are kept
+as deduplicated integer pair arrays; sparse matrices are materialized on
+demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _dedupe_pairs(pairs: np.ndarray) -> np.ndarray:
+    """Return unique rows of an ``(n, 2)`` int array, sorted lexicographically."""
+    if pairs.size == 0:
+        return pairs.reshape(0, 2).astype(np.int64)
+    return np.unique(pairs.astype(np.int64), axis=0)
+
+
+@dataclass
+class InteractionDataset:
+    """A social-recommendation dataset with item side information.
+
+    Parameters
+    ----------
+    num_users, num_items, num_relations:
+        Entity counts (relations are the intermediate relation nodes ``r``
+        of the item-relation triples, e.g. product categories).
+    interactions:
+        ``(n, 2)`` array of observed ``(user, item)`` pairs (``Y``).
+    social_edges:
+        ``(m, 2)`` array of undirected social ties (``S``); stored once per
+        unordered pair, symmetrized in :meth:`social_matrix`.
+    item_relations:
+        ``(k, 2)`` array of ``(item, relation)`` links (``T``).
+    name:
+        Human-readable dataset name used in reports.
+    """
+
+    num_users: int
+    num_items: int
+    num_relations: int
+    interactions: np.ndarray
+    social_edges: np.ndarray
+    item_relations: np.ndarray
+    name: str = "unnamed"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.interactions = _dedupe_pairs(np.asarray(self.interactions))
+        self.social_edges = self._canonical_social(np.asarray(self.social_edges))
+        self.item_relations = _dedupe_pairs(np.asarray(self.item_relations))
+        self._validate()
+
+    def _canonical_social(self, edges: np.ndarray) -> np.ndarray:
+        """Store each undirected tie once as ``(min, max)`` and drop self-loops."""
+        if edges.size == 0:
+            return edges.reshape(0, 2).astype(np.int64)
+        edges = edges.astype(np.int64)
+        low = np.minimum(edges[:, 0], edges[:, 1])
+        high = np.maximum(edges[:, 0], edges[:, 1])
+        keep = low != high
+        return _dedupe_pairs(np.stack([low[keep], high[keep]], axis=1))
+
+    def _validate(self) -> None:
+        if self.num_users <= 0 or self.num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        if self.num_relations < 0:
+            raise ValueError("num_relations must be non-negative")
+        checks = [
+            (self.interactions[:, 0], self.num_users, "interaction user"),
+            (self.interactions[:, 1], self.num_items, "interaction item"),
+            (self.social_edges.reshape(-1), self.num_users, "social user"),
+        ]
+        if self.item_relations.size:
+            checks.append((self.item_relations[:, 0], self.num_items, "relation item"))
+            checks.append((self.item_relations[:, 1], self.num_relations, "relation id"))
+        for values, bound, label in checks:
+            if values.size and (values.min() < 0 or values.max() >= bound):
+                raise ValueError(f"{label} index out of range [0, {bound})")
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+    def interaction_matrix(self, pairs: Optional[np.ndarray] = None) -> sp.csr_matrix:
+        """Binary ``Y`` as a ``(num_users, num_items)`` CSR matrix.
+
+        ``pairs`` restricts the matrix to a subset of interactions (e.g.
+        the training split) — always pass the training pairs when building
+        model inputs to avoid test leakage.
+        """
+        pairs = self.interactions if pairs is None else np.asarray(pairs, dtype=np.int64)
+        data = np.ones(len(pairs))
+        return sp.csr_matrix((data, (pairs[:, 0], pairs[:, 1])),
+                             shape=(self.num_users, self.num_items))
+
+    def social_matrix(self) -> sp.csr_matrix:
+        """Symmetric binary ``S`` as a ``(num_users, num_users)`` CSR matrix."""
+        edges = self.social_edges
+        if edges.size == 0:
+            return sp.csr_matrix((self.num_users, self.num_users))
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        data = np.ones(len(rows))
+        matrix = sp.csr_matrix((data, (rows, cols)),
+                               shape=(self.num_users, self.num_users))
+        matrix.data[:] = 1.0  # collapse accidental duplicates
+        return matrix
+
+    def item_relation_matrix(self) -> sp.csr_matrix:
+        """Binary ``T`` as a ``(num_items, num_relations)`` CSR matrix."""
+        pairs = self.item_relations
+        if pairs.size == 0:
+            return sp.csr_matrix((self.num_items, max(self.num_relations, 1)))
+        data = np.ones(len(pairs))
+        return sp.csr_matrix((data, (pairs[:, 0], pairs[:, 1])),
+                             shape=(self.num_items, self.num_relations))
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def user_histories(self, pairs: Optional[np.ndarray] = None) -> List[np.ndarray]:
+        """Per-user arrays of interacted item ids (insertion order)."""
+        pairs = self.interactions if pairs is None else np.asarray(pairs, dtype=np.int64)
+        histories: List[List[int]] = [[] for _ in range(self.num_users)]
+        for user, item in pairs:
+            histories[user].append(item)
+        return [np.asarray(h, dtype=np.int64) for h in histories]
+
+    def user_degrees(self, pairs: Optional[np.ndarray] = None) -> np.ndarray:
+        """Number of interactions per user."""
+        pairs = self.interactions if pairs is None else np.asarray(pairs, dtype=np.int64)
+        return np.bincount(pairs[:, 0], minlength=self.num_users)
+
+    def social_degrees(self) -> np.ndarray:
+        """Number of social ties per user."""
+        if self.social_edges.size == 0:
+            return np.zeros(self.num_users, dtype=np.int64)
+        return np.bincount(self.social_edges.reshape(-1), minlength=self.num_users)
+
+    def __repr__(self) -> str:
+        return (f"InteractionDataset(name={self.name!r}, users={self.num_users}, "
+                f"items={self.num_items}, relations={self.num_relations}, "
+                f"interactions={len(self.interactions)}, social={len(self.social_edges)}, "
+                f"item_rel={len(self.item_relations)})")

@@ -1,0 +1,90 @@
+"""Dataset persistence.
+
+Two formats are supported:
+
+* a single ``.npz`` archive (compact, exact round-trip), and
+* a plain-text directory layout (``interactions.txt`` / ``social.txt`` /
+  ``item_relations.txt`` with one edge per line) compatible with the
+  common distribution format of the Ciao/Epinions dumps, so real data can
+  be dropped in when available.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_dataset(dataset: InteractionDataset, path: PathLike) -> None:
+    """Save ``dataset`` to ``path``.
+
+    A ``.npz`` suffix selects the archive format; otherwise ``path`` is
+    treated as a directory and the text layout is written.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            num_relations=dataset.num_relations,
+            interactions=dataset.interactions,
+            social_edges=dataset.social_edges,
+            item_relations=dataset.item_relations,
+            name=np.asarray(dataset.name),
+        )
+        return
+    path.mkdir(parents=True, exist_ok=True)
+    header = f"{dataset.num_users} {dataset.num_items} {dataset.num_relations}\n"
+    (path / "meta.txt").write_text(header + dataset.name + "\n")
+    np.savetxt(path / "interactions.txt", dataset.interactions, fmt="%d")
+    np.savetxt(path / "social.txt", dataset.social_edges, fmt="%d")
+    np.savetxt(path / "item_relations.txt", dataset.item_relations, fmt="%d")
+
+
+def _load_edges(path: Path) -> np.ndarray:
+    if not path.exists() or path.stat().st_size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    edges = np.loadtxt(path, dtype=np.int64)
+    if edges.ndim == 1:
+        edges = edges.reshape(1, 2)
+    return edges
+
+
+def load_dataset(path: PathLike) -> InteractionDataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Also accepts hand-assembled text directories (e.g. converted public
+    dumps) that follow the same layout.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as archive:
+            return InteractionDataset(
+                num_users=int(archive["num_users"]),
+                num_items=int(archive["num_items"]),
+                num_relations=int(archive["num_relations"]),
+                interactions=archive["interactions"],
+                social_edges=archive["social_edges"],
+                item_relations=archive["item_relations"],
+                name=str(archive["name"]),
+            )
+    meta_lines = (path / "meta.txt").read_text().splitlines()
+    num_users, num_items, num_relations = (int(v) for v in meta_lines[0].split())
+    name = meta_lines[1] if len(meta_lines) > 1 else path.name
+    return InteractionDataset(
+        num_users=num_users,
+        num_items=num_items,
+        num_relations=num_relations,
+        interactions=_load_edges(path / "interactions.txt"),
+        social_edges=_load_edges(path / "social.txt"),
+        item_relations=_load_edges(path / "item_relations.txt"),
+        name=name,
+    )

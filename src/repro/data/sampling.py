@@ -1,0 +1,128 @@
+"""Training-triple and evaluation-candidate sampling.
+
+* :class:`BprSampler` draws ``(user, positive, negative)`` triples for the
+  pairwise BPR objective (Eq. 11), rejecting negatives the user has
+  interacted with in training.
+* :func:`build_eval_candidates` materializes the paper's evaluation
+  protocol (Section V-A3): for each test user, the held-out positive plus
+  ``num_negatives`` items the user never interacted with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.split import Split
+
+
+class BprSampler:
+    """Uniform BPR triple sampler over a training split.
+
+    Parameters
+    ----------
+    split:
+        Leave-one-out split providing training pairs.
+    batch_size:
+        Triples per batch.
+    seed:
+        Sampling seed.
+    """
+
+    def __init__(self, split: Split, batch_size: int = 1024, seed: int = 0):
+        if len(split.train_pairs) == 0:
+            raise ValueError("cannot sample from an empty training set")
+        self.split = split
+        self.batch_size = int(batch_size)
+        self._rng = np.random.default_rng(seed)
+        self._pairs = split.train_pairs
+        self._num_items = split.dataset.num_items
+        matrix = split.train_matrix().tolil()
+        self._positives = [set(row) for row in matrix.rows]
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw one batch of ``(users, positives, negatives)``."""
+        index = self._rng.integers(0, len(self._pairs), size=self.batch_size)
+        users = self._pairs[index, 0]
+        positives = self._pairs[index, 1]
+        negatives = self._rng.integers(0, self._num_items, size=self.batch_size)
+        for position, user in enumerate(users):
+            forbidden = self._positives[user]
+            while negatives[position] in forbidden:
+                negatives[position] = self._rng.integers(0, self._num_items)
+        return users, positives, negatives
+
+    def epoch(self, batches_per_epoch: int) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``batches_per_epoch`` batches."""
+        for _ in range(batches_per_epoch):
+            yield self.sample()
+
+    def batches_for_full_epoch(self) -> int:
+        """Batches needed to visit roughly every training pair once."""
+        return max(1, int(np.ceil(len(self._pairs) / self.batch_size)))
+
+
+@dataclass
+class EvalCandidates:
+    """Evaluation candidate lists: positive first, then sampled negatives.
+
+    Attributes
+    ----------
+    users:
+        ``(n,)`` test user ids.
+    items:
+        ``(n, 1 + num_negatives)`` candidate item ids; column 0 is the
+        held-out positive.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        return self.items.shape[1]
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def build_eval_candidates(split: Split, num_negatives: int = 100,
+                          seed: int = 0) -> EvalCandidates:
+    """Sample the 1-positive + ``num_negatives`` candidate lists.
+
+    Negatives are drawn uniformly from items the user interacted with in
+    *neither* the training nor the test set, matching the paper's
+    "non-interacted items" wording.
+    """
+    rng = np.random.default_rng(seed)
+    dataset = split.dataset
+    full = dataset.interaction_matrix().tolil()
+    interacted = [set(row) for row in full.rows]
+
+    rows = []
+    for user, positive in zip(split.test_users, split.test_items):
+        forbidden = interacted[user]
+        available = dataset.num_items - len(forbidden)
+        if available < num_negatives:
+            raise ValueError(
+                f"user {user} has only {available} candidate negatives; "
+                f"increase num_items or lower num_negatives")
+        negatives = np.empty(num_negatives, dtype=np.int64)
+        filled = 0
+        while filled < num_negatives:
+            draw = rng.integers(0, dataset.num_items,
+                                size=2 * (num_negatives - filled))
+            for item in draw:
+                if item in forbidden:
+                    continue
+                negatives[filled] = item
+                forbidden = forbidden | {int(item)}  # avoid duplicate negatives
+                filled += 1
+                if filled == num_negatives:
+                    break
+        rows.append(np.concatenate([[positive], negatives]))
+    items = (np.stack(rows, axis=0) if rows
+             else np.zeros((0, 1 + num_negatives), dtype=np.int64))
+    return EvalCandidates(users=split.test_users.copy(), items=items)

@@ -1,0 +1,56 @@
+"""Dataset statistics in the format of the paper's Table I."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.data.dataset import InteractionDataset
+
+
+def dataset_statistics(dataset: InteractionDataset) -> Dict[str, float]:
+    """Compute the six Table-I rows for ``dataset``.
+
+    Social ties are counted directed (both orientations of each undirected
+    pair), matching how trust lists are counted in the paper.
+    """
+    num_interactions = len(dataset.interactions)
+    num_ties = 2 * len(dataset.social_edges)
+    interaction_cells = dataset.num_users * dataset.num_items
+    social_cells = dataset.num_users * max(dataset.num_users - 1, 1)
+    return {
+        "users": dataset.num_users,
+        "items": dataset.num_items,
+        "interactions": num_interactions,
+        "interaction_density_pct": 100.0 * num_interactions / interaction_cells,
+        "social_ties": num_ties,
+        "social_density_pct": 100.0 * num_ties / social_cells,
+        "relations": dataset.num_relations,
+        "item_relation_links": len(dataset.item_relations),
+    }
+
+
+_ROWS = (
+    ("# of Users", "users", "{:d}"),
+    ("# of Items", "items", "{:d}"),
+    ("# of User-Item Interactions", "interactions", "{:d}"),
+    ("Interaction Density Degree", "interaction_density_pct", "{:.4f}%"),
+    ("# of Social Ties", "social_ties", "{:d}"),
+    ("Social Tie Density Degree", "social_density_pct", "{:.4f}%"),
+    ("# of Item Relations", "relations", "{:d}"),
+    ("# of Item-Relation Links", "item_relation_links", "{:d}"),
+)
+
+
+def render_statistics_table(datasets: Sequence[InteractionDataset]) -> str:
+    """Render a plain-text Table I for the given datasets."""
+    stats = [dataset_statistics(dataset) for dataset in datasets]
+    header = ["Dataset"] + [dataset.name for dataset in datasets]
+    lines = [" | ".join(f"{cell:>28}" if index == 0 else f"{cell:>14}"
+                        for index, cell in enumerate(header))]
+    lines.append("-" * len(lines[0]))
+    for label, key, fmt in _ROWS:
+        cells = [label] + [fmt.format(int(s[key]) if "d" in fmt else s[key])
+                           for s in stats]
+        lines.append(" | ".join(f"{cell:>28}" if index == 0 else f"{cell:>14}"
+                                for index, cell in enumerate(cells)))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Top-N ranking metrics: HR@N and NDCG@N (Eq. 12 of the paper).
+
+With a single held-out positive per test user, the per-user discounted
+cumulative gain reduces to ``1/log2(rank + 2)`` when the positive lands in
+the top N (and the ideal DCG is 1), so NDCG@N equals the mean reciprocal
+log-discount of ranked hits — exactly the quantity the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def ranks_of_positives(scores: np.ndarray) -> np.ndarray:
+    """Zero-based rank of the positive (column 0) within each row.
+
+    Ties between the positive and negatives contribute half a position
+    each, making the metric deterministic without favouring either side.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must be (num_users, num_candidates)")
+    positive = scores[:, :1]
+    better = (scores[:, 1:] > positive).sum(axis=1)
+    ties = (scores[:, 1:] == positive).sum(axis=1)
+    return better + 0.5 * ties
+
+
+def hit_rate_at(ranks: np.ndarray, top_n: int) -> float:
+    """Fraction of test users whose positive ranks inside the top ``top_n``."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    return float((ranks < top_n).mean())
+
+
+def ndcg_at(ranks: np.ndarray, top_n: int) -> float:
+    """Mean ``1/log2(rank + 2)`` over hits (single-positive NDCG@N)."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    hits = ranks < top_n
+    gains = np.where(hits, 1.0 / np.log2(ranks + 2.0), 0.0)
+    return float(gains.mean())
+
+
+def mrr(ranks: np.ndarray) -> float:
+    """Mean reciprocal rank of the positives (``1/(rank+1)`` averaged)."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean(1.0 / (ranks + 1.0)))
+
+
+def precision_at(ranks: np.ndarray, top_n: int) -> float:
+    """Precision@N with a single relevant item: ``HR@N / N``."""
+    return hit_rate_at(ranks, top_n) / top_n
+
+
+def average_rank(ranks: np.ndarray) -> float:
+    """Mean zero-based rank of the positives (lower is better)."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return float(ranks.mean()) if ranks.size else 0.0
+
+
+def ranking_metrics(scores: np.ndarray, ks: Sequence[int] = (5, 10, 20),
+                    include_extras: bool = False) -> Dict[str, float]:
+    """Compute ``hr@k`` and ``ndcg@k`` for every ``k`` from raw scores.
+
+    ``include_extras`` adds ``mrr``, ``precision@k`` and ``avg-rank`` —
+    quantities not reported in the paper but standard in top-N libraries.
+    """
+    ranks = ranks_of_positives(scores)
+    metrics: Dict[str, float] = {}
+    for k in ks:
+        metrics[f"hr@{k}"] = hit_rate_at(ranks, k)
+        metrics[f"ndcg@{k}"] = ndcg_at(ranks, k)
+    if include_extras:
+        metrics["mrr"] = mrr(ranks)
+        for k in ks:
+            metrics[f"precision@{k}"] = precision_at(ranks, k)
+        metrics["avg-rank"] = average_rank(ranks)
+    return metrics

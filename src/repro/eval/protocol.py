@@ -1,0 +1,37 @@
+"""The paper's evaluation protocol (Section V-A3).
+
+For every test user the held-out positive is ranked against 100 sampled
+negatives; HR@N and NDCG@N are averaged over users.  Candidate lists are
+built once by :func:`repro.data.build_eval_candidates` and reused across
+models so comparisons share identical negatives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.sampling import EvalCandidates
+from repro.eval.metrics import ranking_metrics
+
+
+def evaluate_scores(scores: np.ndarray, ks: Sequence[int] = (5, 10, 20)) -> Dict[str, float]:
+    """Metrics from a pre-computed ``(num_users, num_candidates)`` score grid."""
+    return ranking_metrics(scores, ks=ks)
+
+
+def evaluate_model(model, candidates: EvalCandidates,
+                   ks: Sequence[int] = (5, 10, 20)) -> Dict[str, float]:
+    """Score every candidate list with ``model`` and compute the metrics.
+
+    ``model`` must expose ``score_candidates(users, items)`` returning an
+    array of scores shaped like ``items`` (see
+    :class:`repro.models.base.Recommender`).
+    """
+    scores = model.score_candidates(candidates.users, candidates.items)
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != candidates.items.shape:
+        raise ValueError(f"model returned scores of shape {scores.shape}, "
+                         f"expected {candidates.items.shape}")
+    return evaluate_scores(scores, ks=ks)

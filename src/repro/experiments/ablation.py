@@ -1,0 +1,103 @@
+"""Module and relation ablations (Figs. 4 and 5).
+
+* :func:`run_module_ablation` — Fig. 4: DGNN vs "-M" (no memory encoder),
+  "-τ" (no social recalibration), "-LN" (no layer normalization).
+* :func:`run_relation_ablation` — Fig. 5: DGNN vs "-S" (no social graph),
+  "-T" (no item relations), "-ST" (neither), across top-N cutoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentContext,
+    ModelRunResult,
+    default_train_config,
+    render_metric_table,
+    run_model,
+)
+from repro.train import TrainConfig
+
+MODULE_VARIANTS = {
+    "DGNN": {},
+    "-M": {"use_memory": False},
+    "-tau": {"use_tau": False},
+    "-LN": {"use_layernorm": False},
+}
+
+RELATION_VARIANTS = {
+    "DGNN": {"use_social": True, "use_item_relations": True},
+    "-S": {"use_social": False, "use_item_relations": True},
+    "-T": {"use_social": True, "use_item_relations": False},
+    "-ST": {"use_social": False, "use_item_relations": False},
+}
+
+
+@dataclass
+class AblationResults:
+    """Variant-name → run result, with a renderer."""
+
+    dataset_name: str
+    kind: str
+    runs: Dict[str, ModelRunResult] = field(default_factory=dict)
+
+    def metric(self, variant: str, name: str) -> Optional[float]:
+        run = self.runs.get(variant)
+        return None if run is None else run.metrics.get(name)
+
+    def render(self, metrics: Sequence[str] = ("hr@10", "ndcg@10")) -> str:
+        values = {variant: {m: run.metrics.get(m) for m in metrics}
+                  for variant, run in self.runs.items()}
+        return render_metric_table(
+            list(self.runs), list(metrics), values,
+            title=f"{self.kind} ablation on {self.dataset_name}")
+
+    def full_model_wins(self, metric: str = "hr@10",
+                        full_name: str = "DGNN") -> bool:
+        """Whether the un-ablated model beats every variant on ``metric``."""
+        full = self.metric(full_name, metric)
+        if full is None:
+            return False
+        return all(full >= (self.metric(v, metric) or 0.0)
+                   for v in self.runs if v != full_name)
+
+
+def run_module_ablation(context: ExperimentContext,
+                        train_config: Optional[TrainConfig] = None,
+                        embed_dim: int = 16, seed: int = 0,
+                        variants: Optional[Dict[str, dict]] = None) -> AblationResults:
+    """Fig. 4: remove one DGNN module at a time."""
+    results = AblationResults(dataset_name=context.dataset.name, kind="module")
+    for variant, kwargs in (variants or MODULE_VARIANTS).items():
+        results.runs[variant] = run_model(
+            "dgnn", context, train_config or default_train_config(seed=seed),
+            embed_dim=embed_dim, seed=seed, **kwargs)
+    return results
+
+
+def run_relation_ablation(context: ExperimentContext,
+                          train_config: Optional[TrainConfig] = None,
+                          embed_dim: int = 16, seed: int = 0,
+                          variants: Optional[Dict[str, dict]] = None) -> AblationResults:
+    """Fig. 5: drop relation sets from the input graph."""
+    results = AblationResults(dataset_name=context.dataset.name, kind="relation")
+    for variant, graph_kwargs in (variants or RELATION_VARIANTS).items():
+        graph = context.variant_graph(**graph_kwargs)
+        results.runs[variant] = run_model(
+            "dgnn", context, train_config or default_train_config(seed=seed),
+            embed_dim=embed_dim, seed=seed, graph=graph)
+    return results
+
+
+def render_relation_ablation_by_n(results: AblationResults,
+                                  ns: Sequence[int] = (5, 10, 20)) -> str:
+    """Fig. 5 layout: variants × (HR@N, NDCG@N for each N)."""
+    metrics: List[str] = []
+    for n in ns:
+        metrics.extend([f"hr@{n}", f"ndcg@{n}"])
+    values = {variant: {m: run.metrics.get(m) for m in metrics}
+              for variant, run in results.runs.items()}
+    return render_metric_table(list(results.runs), metrics, values,
+                               title=f"relation ablation on {results.dataset_name}")

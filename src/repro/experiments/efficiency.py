@@ -1,0 +1,105 @@
+"""Table IV and Fig. 8: efficiency and convergence.
+
+* :func:`run_efficiency_comparison` — Table IV: wall-clock seconds per
+  training epoch and per test pass for DGCF, HGT and DGNN.  The paper's
+  claim: DGNN is faster than both because its memory gates are per-node
+  while HGT pays per-edge attention projections and DGCF pays iterative
+  routing.
+* :func:`run_convergence_comparison` — Fig. 8: metric trajectory per
+  epoch for the same three models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentContext,
+    ModelRunResult,
+    default_train_config,
+    run_model,
+)
+from repro.train import TrainConfig
+
+EFFICIENCY_MODELS = ("dgcf", "hgt", "dgnn")
+
+
+@dataclass
+class EfficiencyResults:
+    """Per-model training/testing seconds per epoch (Table IV)."""
+
+    dataset_name: str
+    seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"Table IV — seconds per epoch on {self.dataset_name}"]
+        header = f"{'model':<10}{'train s/epoch':>15}{'test s/pass':>14}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for model, timing in self.seconds.items():
+            lines.append(f"{model:<10}{timing['train']:>15.3f}{timing['test']:>14.3f}")
+        return "\n".join(lines)
+
+    def faster_than(self, model: str, other: str, phase: str = "train") -> bool:
+        return self.seconds[model][phase] <= self.seconds[other][phase]
+
+
+@dataclass
+class ConvergenceResults:
+    """Per-model metric trajectories (Fig. 8)."""
+
+    dataset_name: str
+    eval_epochs: Dict[str, List[int]] = field(default_factory=dict)
+    curves: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    runs: Dict[str, ModelRunResult] = field(default_factory=dict)
+
+    def render(self, metric: str = "hr@10") -> str:
+        lines = [f"Fig. 8 — {metric} per epoch on {self.dataset_name}"]
+        for model, curve in self.curves.items():
+            points = " ".join(f"{value:.3f}" for value in curve[metric])
+            lines.append(f"{model:<10} {points}")
+        return "\n".join(lines)
+
+    def final_value(self, model: str, metric: str = "hr@10") -> float:
+        return max(self.curves[model][metric])
+
+
+def run_efficiency_comparison(
+        context: ExperimentContext,
+        models: Sequence[str] = EFFICIENCY_MODELS,
+        epochs: int = 5,
+        embed_dim: int = 16,
+        seed: int = 0) -> EfficiencyResults:
+    """Time a few epochs of each model under identical settings."""
+    results = EfficiencyResults(dataset_name=context.dataset.name)
+    config = default_train_config(epochs=epochs, patience=None, eval_every=1,
+                                  seed=seed)
+    for model_name in models:
+        run = run_model(model_name, context, config, embed_dim=embed_dim, seed=seed)
+        results.seconds[model_name] = {
+            "train": run.history.mean_train_seconds(),
+            "test": run.history.mean_eval_seconds(),
+        }
+    return results
+
+
+def run_convergence_comparison(
+        context: ExperimentContext,
+        models: Sequence[str] = EFFICIENCY_MODELS,
+        epochs: int = 30,
+        metrics: Sequence[str] = ("hr@10", "ndcg@10"),
+        embed_dim: int = 16,
+        seed: int = 0,
+        train_config: Optional[TrainConfig] = None) -> ConvergenceResults:
+    """Record each model's metric trajectory, evaluated every epoch."""
+    results = ConvergenceResults(dataset_name=context.dataset.name)
+    config = train_config or default_train_config(
+        epochs=epochs, patience=None, eval_every=1, seed=seed)
+    for model_name in models:
+        run = run_model(model_name, context, config, embed_dim=embed_dim, seed=seed)
+        results.eval_epochs[model_name] = list(run.history.eval_epochs)
+        results.curves[model_name] = {metric: run.history.metric_curve(metric)
+                                      for metric in metrics}
+        results.runs[model_name] = run
+    return results

@@ -1,0 +1,113 @@
+"""Tables II and III: overall performance comparison.
+
+Runs every compared model on each dataset under identical splits and
+negative samples, reports HR@N / NDCG@N, and renders the paper's layout
+including the "Imp" rows (DGNN's relative improvement over each
+baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentContext,
+    ModelRunResult,
+    default_train_config,
+    improvement_pct,
+    run_model,
+)
+from repro.models.registry import PAPER_TABLE2_MODELS
+from repro.train import TrainConfig
+
+DEFAULT_DATASETS = ("ciao-small", "epinions-small", "yelp-small")
+
+
+@dataclass
+class OverallResults:
+    """Grid of model results per dataset (the Table II/III payload)."""
+
+    datasets: List[str]
+    models: List[str]
+    results: Dict[str, Dict[str, ModelRunResult]] = field(default_factory=dict)
+
+    def metric(self, dataset: str, model: str, name: str) -> Optional[float]:
+        run = self.results.get(dataset, {}).get(model)
+        return None if run is None else run.metrics.get(name)
+
+    # ------------------------------------------------------------------
+    def render_table2(self, reference: str = "dgnn") -> str:
+        """Table II: HR@10 / NDCG@10 with Imp% of ``reference`` over each."""
+        lines = ["Table II — overall performance (HR@10 / NDCG@10)", ""]
+        for dataset in self.datasets:
+            lines.append(f"== {dataset} ==")
+            header = f"{'model':<14}{'HR@10':>10}{'NDCG@10':>10}{'ImpHR%':>9}{'ImpNDCG%':>10}"
+            lines.append(header)
+            lines.append("-" * len(header))
+            ref_hr = self.metric(dataset, reference, "hr@10")
+            ref_ndcg = self.metric(dataset, reference, "ndcg@10")
+            for model in self.models:
+                hr = self.metric(dataset, model, "hr@10")
+                ndcg = self.metric(dataset, model, "ndcg@10")
+                if hr is None:
+                    continue
+                if model == reference or ref_hr is None:
+                    imp_hr = imp_ndcg = ""
+                else:
+                    imp_hr = f"{improvement_pct(ref_hr, hr):.2f}"
+                    imp_ndcg = f"{improvement_pct(ref_ndcg, ndcg):.2f}"
+                lines.append(f"{model:<14}{hr:>10.4f}{ndcg:>10.4f}"
+                             f"{imp_hr:>9}{imp_ndcg:>10}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def render_table3(self) -> str:
+        """Table III: HR/NDCG at N=5 and N=20."""
+        lines = ["Table III — varying top-N (HR/NDCG @5 and @20)", ""]
+        for dataset in self.datasets:
+            lines.append(f"== {dataset} ==")
+            header = (f"{'model':<14}{'HR@5':>9}{'NDCG@5':>9}"
+                      f"{'HR@20':>9}{'NDCG@20':>9}")
+            lines.append(header)
+            lines.append("-" * len(header))
+            for model in self.models:
+                values = [self.metric(dataset, model, key)
+                          for key in ("hr@5", "ndcg@5", "hr@20", "ndcg@20")]
+                if values[0] is None:
+                    continue
+                lines.append(f"{model:<14}" + "".join(f"{v:>9.4f}" for v in values))
+            lines.append("")
+        return "\n".join(lines)
+
+    def winner(self, dataset: str, metric: str = "hr@10") -> str:
+        """Best model on a dataset by a metric."""
+        scored = [(self.metric(dataset, model, metric) or 0.0, model)
+                  for model in self.models]
+        return max(scored)[1]
+
+
+def run_overall_comparison(
+        datasets: Sequence[str] = DEFAULT_DATASETS,
+        models: Sequence[str] = PAPER_TABLE2_MODELS,
+        train_config: Optional[TrainConfig] = None,
+        embed_dim: int = 16,
+        seed: int = 0,
+        num_negatives: int = 100,
+        verbose: bool = False) -> OverallResults:
+    """Run the full Table II/III comparison grid."""
+    results = OverallResults(datasets=list(datasets), models=list(models))
+    for dataset_name in datasets:
+        context = ExperimentContext.build(dataset_name, seed=seed,
+                                          num_negatives=num_negatives)
+        results.results[dataset_name] = {}
+        for model_name in models:
+            run = run_model(model_name, context,
+                            train_config or default_train_config(seed=seed),
+                            embed_dim=embed_dim, seed=seed)
+            results.results[dataset_name][model_name] = run
+            if verbose:
+                print(f"[{dataset_name}] {model_name}: "
+                      f"hr@10={run.metrics.get('hr@10', 0):.4f} "
+                      f"ndcg@10={run.metrics.get('ndcg@10', 0):.4f}")
+    return results

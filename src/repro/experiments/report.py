@@ -1,0 +1,148 @@
+"""Assemble experiment results into a markdown + SVG report.
+
+Bridges the experiment runners and human-readable artifacts: given the
+typed result objects, write a directory with one markdown index and one
+SVG per figure — the machinery behind regenerating EXPERIMENTS.md and
+the benchmark result files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experiments.ablation import AblationResults
+from repro.experiments.efficiency import ConvergenceResults, EfficiencyResults
+from repro.experiments.embedding_viz import EmbeddingVizResults
+from repro.experiments.hyperparams import SweepResults
+from repro.experiments.memory_viz import MemoryVizResults
+from repro.experiments.overall import OverallResults
+from repro.experiments.sparsity import SparsityResults
+from repro.viz.svgplot import grouped_bar_chart, line_chart, rgb_string, scatter_plot
+
+PathLike = Union[str, os.PathLike]
+
+
+class ReportBuilder:
+    """Collects artifacts and writes them to a report directory."""
+
+    def __init__(self, directory: PathLike, title: str = "DGNN reproduction report"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.title = title
+        self._sections: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    def add_text(self, heading: str, text: str) -> None:
+        """Add a fenced plain-text section."""
+        self._sections.append((heading, f"```\n{text}\n```"))
+
+    def add_overall(self, results: OverallResults) -> None:
+        """Tables II and III."""
+        self.add_text("Table II — overall performance", results.render_table2())
+        self.add_text("Table III — varying top-N", results.render_table3())
+
+    def add_ablation(self, results: AblationResults, figure_name: str,
+                     metric: str = "hr@10") -> None:
+        """A Fig. 4/5-style grouped bar chart plus its text table."""
+        variants = list(results.runs)
+        svg_path = self.directory / f"{figure_name}.svg"
+        grouped_bar_chart(
+            groups=[metric],
+            series={variant: [results.metric(variant, metric) or 0.0]
+                    for variant in variants},
+            title=f"{figure_name}: {results.kind} ablation "
+                  f"({results.dataset_name})",
+            y_label=metric, path=svg_path)
+        self.add_text(f"{figure_name} — {results.kind} ablation",
+                      results.render())
+        self._sections.append((f"{figure_name} chart",
+                               f"![{figure_name}]({svg_path.name})"))
+
+    def add_sparsity(self, results: SparsityResults,
+                     figure_name: str = "fig6", metric: str = "hr@10") -> None:
+        """Fig. 6: per-axis grouped bars over sparsity groups."""
+        for axis, per_model in results.groups.items():
+            svg_path = self.directory / f"{figure_name}_{axis}.svg"
+            groups = [f"G{g + 1}" for g in range(results.num_groups)]
+            grouped_bar_chart(
+                groups=groups,
+                series={model: [m[metric] for m in metrics]
+                        for model, metrics in per_model.items()},
+                title=f"{figure_name}: sparsity by {axis} "
+                      f"({results.dataset_name})",
+                y_label=metric, path=svg_path)
+            self._sections.append((f"{figure_name} ({axis}) chart",
+                                   f"![{figure_name}-{axis}]({svg_path.name})"))
+        self.add_text(f"{figure_name} — sparsity robustness", results.render())
+
+    def add_sweep(self, results: SweepResults, figure_name: str,
+                  metric: str = "hr@10") -> None:
+        """One Fig. 7 panel as a line chart."""
+        values = sorted(results.metrics)
+        svg_path = self.directory / f"{figure_name}_{results.parameter}.svg"
+        line_chart(values,
+                   {metric: [results.metrics[v][metric] for v in values]},
+                   title=f"{figure_name}: {results.parameter} sweep "
+                         f"({results.dataset_name})",
+                   x_label=results.parameter, y_label=metric, path=svg_path)
+        self.add_text(f"{figure_name} — {results.parameter} sweep",
+                      results.render(metric))
+        self._sections.append(
+            (f"{figure_name} ({results.parameter}) chart",
+             f"![{figure_name}-{results.parameter}]({svg_path.name})"))
+
+    def add_convergence(self, results: ConvergenceResults,
+                        figure_name: str = "fig8",
+                        metric: str = "hr@10") -> None:
+        """Fig. 8: metric-vs-epoch line chart."""
+        any_model = next(iter(results.curves))
+        epochs = [e + 1 for e in results.eval_epochs[any_model]]
+        svg_path = self.directory / f"{figure_name}.svg"
+        line_chart(epochs,
+                   {model: curve[metric]
+                    for model, curve in results.curves.items()},
+                   title=f"{figure_name}: convergence ({results.dataset_name})",
+                   x_label="epoch", y_label=metric, path=svg_path)
+        self.add_text(f"{figure_name} — convergence", results.render(metric))
+        self._sections.append((f"{figure_name} chart",
+                               f"![{figure_name}]({svg_path.name})"))
+
+    def add_efficiency(self, results: EfficiencyResults,
+                       table_name: str = "table4") -> None:
+        self.add_text(f"{table_name} — running time", results.render())
+
+    def add_embedding_viz(self, results: EmbeddingVizResults,
+                          figure_name: str = "fig9") -> None:
+        """Fig. 9: one t-SNE scatter per model."""
+        for model, projection in results.projections.items():
+            svg_path = self.directory / f"{figure_name}_{model}.svg"
+            scatter_plot(
+                {"users": [tuple(p) for p in projection["users"]],
+                 "items": [tuple(p) for p in projection["items"]]},
+                title=f"{figure_name}: {model} embeddings "
+                      f"({results.dataset_name})",
+                path=svg_path)
+            self._sections.append((f"{figure_name} ({model}) chart",
+                                   f"![{figure_name}-{model}]({svg_path.name})"))
+        self.add_text(f"{figure_name} — separation scores", results.render())
+
+    def add_memory_viz(self, results: MemoryVizResults,
+                       figure_name: str = "fig10",
+                       positions: Optional[Dict[str, object]] = None) -> None:
+        self.add_text(f"{figure_name} — memory attention coherence",
+                      results.render())
+
+    # ------------------------------------------------------------------
+    def write(self, filename: str = "README.md") -> Path:
+        """Write the markdown index; returns its path."""
+        lines = [f"# {self.title}", ""]
+        for heading, body in self._sections:
+            lines.append(f"## {heading}")
+            lines.append("")
+            lines.append(body)
+            lines.append("")
+        path = self.directory / filename
+        path.write_text("\n".join(lines))
+        return path

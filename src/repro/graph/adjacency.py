@@ -1,0 +1,54 @@
+"""Sparse adjacency normalization helpers shared by all GNN models."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Divide each row by its sum (rows summing to zero stay zero).
+
+    This is the ``1/|N(t)|`` mean-aggregation normalization the paper uses
+    in Eqs. 4–6.
+    """
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    row_sums = np.asarray(matrix.sum(axis=1)).reshape(-1)
+    inverse = np.zeros_like(row_sums)
+    nonzero = row_sums > 0
+    inverse[nonzero] = 1.0 / row_sums[nonzero]
+    return sp.diags(inverse) @ matrix
+
+
+def symmetric_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Apply ``D^{-1/2} A D^{-1/2}`` (the GCN / LightGCN normalization)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    degrees = np.asarray(matrix.sum(axis=1)).reshape(-1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    scale = sp.diags(inv_sqrt)
+    return scale @ matrix @ scale
+
+
+def add_self_loops(matrix: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` for a square sparse matrix."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("self loops require a square matrix")
+    return (matrix + weight * sp.eye(matrix.shape[0], format="csr")).tocsr()
+
+
+def bipartite_norm_adjacency(interaction: sp.spmatrix) -> sp.csr_matrix:
+    """Build the symmetric-normalized joint user–item adjacency.
+
+    Given the ``(I, J)`` interaction matrix ``R``, returns the
+    ``(I+J, I+J)`` matrix ``D^{-1/2} [[0, R], [R^T, 0]] D^{-1/2}`` used by
+    NGCF / GCCF / LightGCN-style collaborative filtering.
+    """
+    interaction = sp.csr_matrix(interaction, dtype=np.float64)
+    num_users, num_items = interaction.shape
+    upper = sp.hstack([sp.csr_matrix((num_users, num_users)), interaction])
+    lower = sp.hstack([interaction.T, sp.csr_matrix((num_items, num_items))])
+    joint = sp.vstack([upper, lower]).tocsr()
+    return symmetric_normalize(joint)

@@ -1,0 +1,252 @@
+"""The collaborative heterogeneous graph ``G`` of Eq. 1.
+
+:class:`CollaborativeHeteroGraph` unifies the three relation sets —
+user–item interactions ``Y``, user–user social ties ``S`` and
+item–relation links ``T`` — into one object that hands models exactly the
+sparse views they need:
+
+* *joint-normalized* adjacencies implementing the paper's mean
+  aggregation, where a user's normalizer is ``1/(|N^S_u| + |N^Y_u|)``
+  (Eq. 4) and an item's is ``1/(|N^Y_v| + |N^T_v|)`` (Eq. 5);
+* plain row- or symmetric-normalized per-relation adjacencies for the
+  baselines;
+* explicit edge lists for attention-based models;
+* meta-path adjacencies (U-I-U, I-U-I, I-R-I, U-U) for HAN / HERec.
+
+Ablation variants (``-S``, ``-T``, ``-ST`` in Fig. 5) are expressed by
+constructing the graph with ``use_social=False`` / ``use_item_relations=
+False``; every view then degrades consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import InteractionDataset
+from repro.graph.adjacency import bipartite_norm_adjacency, row_normalize, symmetric_normalize
+
+
+@dataclass(frozen=True)
+class EdgeSet:
+    """An explicit directed edge list ``src -> dst`` for one relation type."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    name: str
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+
+class CollaborativeHeteroGraph:
+    """Unified graph over users, items and relation nodes.
+
+    Parameters
+    ----------
+    dataset:
+        The source dataset (provides ``S`` and ``T`` and entity counts).
+    train_pairs:
+        Training interactions; **must** be the training split to avoid
+        test leakage.  Defaults to all interactions (only for exploratory
+        use).
+    use_social / use_item_relations:
+        Ablation switches dropping ``S`` / ``T`` from every view.
+    """
+
+    def __init__(self, dataset: InteractionDataset,
+                 train_pairs: Optional[np.ndarray] = None,
+                 use_social: bool = True,
+                 use_item_relations: bool = True):
+        self.dataset = dataset
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        self.num_relations = max(dataset.num_relations, 1)
+        self.use_social = use_social
+        self.use_item_relations = use_item_relations
+
+        pairs = dataset.interactions if train_pairs is None else train_pairs
+        self.interaction = dataset.interaction_matrix(pairs).astype(np.float64)
+        if use_social:
+            self.social = dataset.social_matrix().astype(np.float64)
+        else:
+            self.social = sp.csr_matrix((self.num_users, self.num_users))
+        if use_item_relations:
+            self.item_relation = dataset.item_relation_matrix().astype(np.float64)
+            self.item_relation = sp.csr_matrix(
+                self.item_relation, shape=(self.num_items, self.num_relations))
+        else:
+            self.item_relation = sp.csr_matrix((self.num_items, self.num_relations))
+
+    # ------------------------------------------------------------------
+    # Degrees and joint normalizers (Eqs. 4-6)
+    # ------------------------------------------------------------------
+    @cached_property
+    def user_degree_social(self) -> np.ndarray:
+        return np.asarray(self.social.sum(axis=1)).reshape(-1)
+
+    @cached_property
+    def user_degree_interaction(self) -> np.ndarray:
+        return np.asarray(self.interaction.sum(axis=1)).reshape(-1)
+
+    @cached_property
+    def item_degree_interaction(self) -> np.ndarray:
+        return np.asarray(self.interaction.sum(axis=0)).reshape(-1)
+
+    @cached_property
+    def item_degree_relation(self) -> np.ndarray:
+        return np.asarray(self.item_relation.sum(axis=1)).reshape(-1)
+
+    @cached_property
+    def relation_degree(self) -> np.ndarray:
+        return np.asarray(self.item_relation.sum(axis=0)).reshape(-1)
+
+    @staticmethod
+    def _joint_scale(*degree_vectors: np.ndarray) -> sp.dia_matrix:
+        total = np.sum(degree_vectors, axis=0)
+        inverse = np.zeros_like(total)
+        nonzero = total > 0
+        inverse[nonzero] = 1.0 / total[nonzero]
+        return sp.diags(inverse)
+
+    @cached_property
+    def user_social_joint(self) -> sp.csr_matrix:
+        """``S`` scaled by ``1/(|N^S_u| + |N^Y_u|)`` per target user (Eq. 4)."""
+        scale = self._joint_scale(self.user_degree_social, self.user_degree_interaction)
+        return (scale @ self.social).tocsr()
+
+    @cached_property
+    def user_item_joint(self) -> sp.csr_matrix:
+        """``Y`` scaled by the same joint user normalizer (Eq. 4)."""
+        scale = self._joint_scale(self.user_degree_social, self.user_degree_interaction)
+        return (scale @ self.interaction).tocsr()
+
+    @cached_property
+    def item_user_joint(self) -> sp.csr_matrix:
+        """``Y^T`` scaled by ``1/(|N^Y_v| + |N^T_v|)`` per target item (Eq. 5)."""
+        scale = self._joint_scale(self.item_degree_interaction, self.item_degree_relation)
+        return (scale @ self.interaction.T.tocsr()).tocsr()
+
+    @cached_property
+    def item_relation_joint(self) -> sp.csr_matrix:
+        """``T`` scaled by the same joint item normalizer (Eq. 5)."""
+        scale = self._joint_scale(self.item_degree_interaction, self.item_degree_relation)
+        return (scale @ self.item_relation).tocsr()
+
+    @cached_property
+    def relation_item_mean(self) -> sp.csr_matrix:
+        """``T^T`` scaled by ``1/|N_r|`` per relation node (Eq. 6)."""
+        return row_normalize(self.item_relation.T.tocsr())
+
+    # ------------------------------------------------------------------
+    # Baseline views
+    # ------------------------------------------------------------------
+    @cached_property
+    def user_item_mean(self) -> sp.csr_matrix:
+        """Row-normalized ``Y`` (plain mean over interacted items)."""
+        return row_normalize(self.interaction)
+
+    @cached_property
+    def item_user_mean(self) -> sp.csr_matrix:
+        """Row-normalized ``Y^T``."""
+        return row_normalize(self.interaction.T.tocsr())
+
+    @cached_property
+    def social_mean(self) -> sp.csr_matrix:
+        """Row-normalized ``S`` (mean over friends)."""
+        return row_normalize(self.social)
+
+    @cached_property
+    def social_sym(self) -> sp.csr_matrix:
+        """Symmetric-normalized ``S``."""
+        return symmetric_normalize(self.social)
+
+    @cached_property
+    def item_relation_mean(self) -> sp.csr_matrix:
+        """Row-normalized ``T``."""
+        return row_normalize(self.item_relation)
+
+    @cached_property
+    def bipartite_norm(self) -> sp.csr_matrix:
+        """Symmetric-normalized joint user–item adjacency for CF baselines."""
+        return bipartite_norm_adjacency(self.interaction)
+
+    # ------------------------------------------------------------------
+    # Meta-paths (HAN / HERec)
+    # ------------------------------------------------------------------
+    def metapath(self, name: str, binarize: bool = True) -> sp.csr_matrix:
+        """Composite adjacency for a named meta-path.
+
+        Supported names: ``"uu"`` (social), ``"uiu"`` (co-interaction),
+        ``"iui"`` (co-consumption), ``"iri"`` (shared relation node).
+        Diagonals are removed; ``binarize`` clips multiplicities to 1.
+        """
+        if name == "uu":
+            matrix = self.social.copy()
+        elif name == "uiu":
+            matrix = (self.interaction @ self.interaction.T).tocsr()
+        elif name == "iui":
+            matrix = (self.interaction.T @ self.interaction).tocsr()
+        elif name == "iri":
+            matrix = (self.item_relation @ self.item_relation.T).tocsr()
+        else:
+            raise KeyError(f"unknown meta-path {name!r}")
+        matrix = matrix.tolil()
+        matrix.setdiag(0)
+        matrix = matrix.tocsr()
+        matrix.eliminate_zeros()
+        if binarize and matrix.nnz:
+            matrix.data[:] = 1.0
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Edge lists (attention-based models)
+    # ------------------------------------------------------------------
+    def edges(self, kind: str) -> EdgeSet:
+        """Directed edge list for a relation type.
+
+        ``kind`` is one of ``"social"`` (both directions), ``"ui"``
+        (item→user message edges: src=item, dst=user), ``"iu"``
+        (user→item), ``"ir"`` (relation→item), ``"ri"`` (item→relation).
+        """
+        if kind == "social":
+            coo = self.social.tocoo()
+            return EdgeSet(src=coo.col.astype(np.int64),
+                           dst=coo.row.astype(np.int64), name=kind)
+        if kind in ("ui", "iu"):
+            coo = self.interaction.tocoo()
+            users = coo.row.astype(np.int64)
+            items = coo.col.astype(np.int64)
+            if kind == "ui":
+                return EdgeSet(src=items, dst=users, name=kind)
+            return EdgeSet(src=users, dst=items, name=kind)
+        if kind in ("ir", "ri"):
+            coo = self.item_relation.tocoo()
+            items = coo.row.astype(np.int64)
+            relations = coo.col.astype(np.int64)
+            if kind == "ir":
+                return EdgeSet(src=relations, dst=items, name=kind)
+            return EdgeSet(src=items, dst=relations, name=kind)
+        raise KeyError(f"unknown edge kind {kind!r}")
+
+    @cached_property
+    def num_edges(self) -> Dict[str, int]:
+        """Edge counts per relation type (social counted directed)."""
+        return {
+            "interaction": int(self.interaction.nnz),
+            "social": int(self.social.nnz),
+            "item_relation": int(self.item_relation.nnz),
+        }
+
+    def social_neighbors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR-style ``(indptr, indices)`` arrays of each user's friends."""
+        csr = self.social.tocsr()
+        return csr.indptr.copy(), csr.indices.astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (f"CollaborativeHeteroGraph(users={self.num_users}, items={self.num_items}, "
+                f"relations={self.num_relations}, edges={self.num_edges})")

@@ -1,0 +1,28 @@
+"""Recommendation models: DGNN (the paper's contribution) and baselines.
+
+Every model implements :class:`repro.models.base.Recommender`; use
+:func:`repro.models.registry.create_model` / ``MODEL_REGISTRY`` to build
+models by name, matching the names used in the paper's tables.
+"""
+
+from repro.models.base import Recommender
+from repro.models.memory import MemoryBank
+from repro.models.dgnn import DGNN
+from repro.models.mf import BprMF, MostPopular
+from repro.models.classic import SoRec, TrustMF
+from repro.models import coldstart
+from repro.models.registry import MODEL_REGISTRY, create_model, available_models
+
+__all__ = [
+    "Recommender",
+    "MemoryBank",
+    "DGNN",
+    "BprMF",
+    "MostPopular",
+    "SoRec",
+    "TrustMF",
+    "coldstart",
+    "MODEL_REGISTRY",
+    "create_model",
+    "available_models",
+]

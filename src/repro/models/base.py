@@ -1,0 +1,130 @@
+"""Common interface for every recommender in the repository.
+
+All models — DGNN and the 15 baselines — share one contract:
+:meth:`Recommender.propagate` produces final user and item embedding
+matrices, prediction is their dot product, and training minimizes the
+pairwise BPR objective of Eq. 11.  Models whose published scoring rule is
+not a plain dot product (e.g. DGNN's social recalibration ``τ``) fold the
+extra terms into the final user embedding, which Eq. 10 shows is exactly
+equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, no_grad
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.nn.module import Module
+
+
+class Recommender(Module):
+    """Base class: embedding-producing recommender trained with BPR.
+
+    Parameters
+    ----------
+    graph:
+        The collaborative heterogeneous graph built from the training
+        split.
+    embed_dim:
+        Dimensionality ``d`` of the final embeddings.
+    seed:
+        Seed controlling weight initialization.
+    """
+
+    name = "base"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0):
+        super().__init__()
+        self.graph = graph
+        self.embed_dim = int(embed_dim)
+        self.seed = int(seed)
+        self._cached_embeddings: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # To implement in subclasses
+    # ------------------------------------------------------------------
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        """Return final ``(user_embeddings, item_embeddings)`` tensors.
+
+        Shapes are ``(num_users, d*)`` and ``(num_items, d*)`` with a
+        shared ``d*`` (models may widen via layer concatenation).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Training objective (Eq. 11)
+    # ------------------------------------------------------------------
+    def bpr_loss(self, users: np.ndarray, positives: np.ndarray,
+                 negatives: np.ndarray, l2: float = 1e-4) -> Tensor:
+        """Pairwise BPR loss on a triple batch plus embedding L2.
+
+        The regularizer is applied to the gathered final embeddings of the
+        batch (the standard BPR practice); global weight decay can be
+        added through the optimizer if desired.
+        """
+        self.invalidate_cache()
+        user_emb, item_emb = self.propagate()
+        u = ops.gather_rows(user_emb, users)
+        p = ops.gather_rows(item_emb, positives)
+        n = ops.gather_rows(item_emb, negatives)
+        pos_scores = ops.sum(ops.mul(u, p), axis=1)
+        neg_scores = ops.sum(ops.mul(u, n), axis=1)
+        loss = ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos_scores, neg_scores))))
+        if l2 > 0:
+            reg = ops.mean(ops.sum(u * u + p * p + n * n, axis=1))
+            loss = ops.add(loss, ops.mul(Tensor(np.array(l2)), reg))
+        return loss
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> None:
+        """Drop cached inference embeddings (call after parameter updates)."""
+        self._cached_embeddings = None
+
+    def final_embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy final embeddings, cached until :meth:`invalidate_cache`."""
+        if self._cached_embeddings is None:
+            was_training = self.training
+            self.eval()
+            with no_grad():
+                user_emb, item_emb = self.propagate()
+            self._cached_embeddings = (user_emb.data.copy(), item_emb.data.copy())
+            if was_training:
+                self.train()
+        return self._cached_embeddings
+
+    def score_candidates(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Dot-product scores for per-user candidate item lists.
+
+        ``users`` is ``(n,)`` and ``items`` is ``(n, c)``; the result has
+        shape ``(n, c)``.
+        """
+        user_emb, item_emb = self.final_embeddings()
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        gathered_users = user_emb[users]  # (n, d)
+        gathered_items = item_emb[items]  # (n, c, d)
+        return np.einsum("nd,ncd->nc", gathered_users, gathered_items)
+
+    def score_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Dot-product scores for aligned ``(user, item)`` arrays."""
+        user_emb, item_emb = self.final_embeddings()
+        return np.sum(user_emb[np.asarray(users)] * item_emb[np.asarray(items)], axis=1)
+
+    def recommend(self, user: int, top_n: int = 10,
+                  exclude_train: bool = True) -> np.ndarray:
+        """Top-N item ids for one user, optionally masking training items."""
+        user_emb, item_emb = self.final_embeddings()
+        scores = item_emb @ user_emb[int(user)]
+        if exclude_train:
+            seen = self.graph.interaction[int(user)].indices
+            scores = scores.copy()
+            scores[seen] = -np.inf
+        top = np.argpartition(-scores, min(top_n, len(scores) - 1))[:top_n]
+        return top[np.argsort(-scores[top])]

@@ -1,0 +1,165 @@
+"""Cold-start inference — the paper's named future-work direction.
+
+The conclusion of the paper singles out cold-start recommendation as the
+next step for DGNN.  This module implements the natural zero-shot
+mechanism the architecture already supports: a **new user with no
+interaction history but known social ties** (or a new item with known
+relation links) can be embedded by running the trained propagation
+operators over their side relations only.
+
+For a new user ``u`` with friend set ``F``:
+
+* layer-0 state: the mean of the friends' trained layer-0 embeddings
+  (the best available prior under social homophily);
+* propagation: the trained social memory bank encodes the aggregated
+  friend embeddings exactly as Eq. 4's social term does for known users;
+* τ recalibration applies unchanged.
+
+For a new item with relation nodes ``R``: the trained item-from-relation
+bank encodes the aggregated relation-node embeddings (Eq. 5's second
+term).
+
+This is *inductive inference with frozen parameters* — no gradient steps
+for the new entity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.models.dgnn import DGNN
+
+
+def embed_cold_user(model: DGNN, friend_ids: Sequence[int]) -> np.ndarray:
+    """Embedding for an unseen user defined only by social ties.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`DGNN`.
+    friend_ids:
+        Ids of existing users the new user trusts.
+
+    Returns
+    -------
+    A vector in the model's final embedding space (τ included), directly
+    comparable with ``model.final_embeddings()[1]`` item rows.
+    """
+    friend_ids = np.asarray(list(friend_ids), dtype=np.int64)
+    if friend_ids.size == 0:
+        raise ValueError("cold-start user needs at least one social tie")
+    if friend_ids.min() < 0 or friend_ids.max() >= model.graph.num_users:
+        raise ValueError("friend id out of range")
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            # Track the new user's state through every layer: start from
+            # the friends' mean, then apply each layer's social bank with
+            # the same mean aggregation Eq. 4 uses.
+            users = model.user_embedding.all()
+            items = model.item_embedding.all()
+            relations = model.relation_embedding.all()
+            state = Tensor(users.data[friend_ids].mean(axis=0, keepdims=True))
+            layer_states = [state]
+            for layer in model.layers:
+                aggregated = Tensor(users.data[friend_ids].mean(axis=0,
+                                                                keepdims=True))
+                if model.use_memory:
+                    message = layer.banks["social"].encode_target_gated(
+                        state, aggregated)
+                    self_loop = layer.banks["self_user"].encode_self(state)
+                else:
+                    message = layer.plain.apply("social", aggregated)
+                    self_loop = layer.plain.apply("self_user", state)
+                from repro.autograd import ops
+
+                if layer.use_layernorm:
+                    activated = ops.leaky_relu(layer.norm_user(message), 0.2)
+                else:
+                    activated = ops.leaky_relu(message, 0.2)
+                state = ops.add(activated, self_loop)
+                layer_states.append(state)
+                users, items, relations = layer(model.graph, users, items,
+                                                relations)
+
+            from repro.autograd import ops
+
+            concat = ops.cat(layer_states, axis=1)
+            if model.use_layernorm:
+                concat = model.final_norm(concat)
+            final = concat.data[0]
+
+            if model.use_tau:
+                user_final, _ = model.propagate()
+                tau = user_final.data[friend_ids].mean(axis=0) / 2.0
+                # friends' final embeddings already include their own τ
+                # doubling; halve to approximate the pre-τ average.
+                final = final + tau
+    finally:
+        if was_training:
+            model.train()
+    return final
+
+
+def embed_cold_item(model: DGNN, relation_ids: Sequence[int]) -> np.ndarray:
+    """Embedding for an unseen item defined only by its relation nodes."""
+    relation_ids = np.asarray(list(relation_ids), dtype=np.int64)
+    if relation_ids.size == 0:
+        raise ValueError("cold-start item needs at least one relation link")
+    if relation_ids.min() < 0 or relation_ids.max() >= model.graph.num_relations:
+        raise ValueError("relation id out of range")
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            from repro.autograd import ops
+
+            users = model.user_embedding.all()
+            items = model.item_embedding.all()
+            relations = model.relation_embedding.all()
+            state = Tensor(relations.data[relation_ids].mean(axis=0,
+                                                             keepdims=True))
+            layer_states = [state]
+            for layer in model.layers:
+                aggregated = Tensor(relations.data[relation_ids].mean(
+                    axis=0, keepdims=True))
+                if model.use_memory:
+                    message = layer.banks["item_from_relation"].encode_target_gated(
+                        state, aggregated)
+                    self_loop = layer.banks["self_item"].encode_self(state)
+                else:
+                    message = layer.plain.apply("item_from_relation", aggregated)
+                    self_loop = layer.plain.apply("self_item", state)
+                if layer.use_layernorm:
+                    activated = ops.leaky_relu(layer.norm_item(message), 0.2)
+                else:
+                    activated = ops.leaky_relu(message, 0.2)
+                state = ops.add(activated, self_loop)
+                layer_states.append(state)
+                users, items, relations = layer(model.graph, users, items,
+                                                relations)
+
+            concat = ops.cat(layer_states, axis=1)
+            if model.use_layernorm:
+                concat = model.final_norm(concat)
+            return concat.data[0]
+    finally:
+        if was_training:
+            model.train()
+
+
+def recommend_cold_user(model: DGNN, friend_ids: Sequence[int],
+                        top_n: int = 10) -> np.ndarray:
+    """Top-N item ids for a brand-new user known only through friends."""
+    user_vector = embed_cold_user(model, friend_ids)
+    _, item_emb = model.final_embeddings()
+    scores = item_emb @ user_vector
+    top = np.argpartition(-scores, min(top_n, len(scores) - 1))[:top_n]
+    return top[np.argsort(-scores[top])]

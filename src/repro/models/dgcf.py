@@ -1,0 +1,129 @@
+"""DGCF — Disentangled Graph Collaborative Filtering (Wang et al., SIGIR 2020).
+
+The published model splits every embedding into ``K`` intent chunks and
+learns a per-edge, per-intent routing distribution by iterating:
+
+1. propagate each intent chunk over the interaction graph weighted by the
+   (softmax-normalized) intent scores of the edges;
+2. update each edge's intent score with the agreement (inner product)
+   between the user chunk and the propagated item chunk.
+
+This implementation follows that routing loop exactly; the per-edge
+intent logits live in numpy (they are re-derived from embeddings each
+iteration, as in the paper, not free parameters) and the propagation is
+expressed with per-intent weighted sparse adjacencies rebuilt every
+routing step — which is also why DGCF is the slowest dense baseline in
+Table IV.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.models.base import Recommender
+from repro.nn.layers import Embedding
+
+
+def _safe_inv_sqrt(degrees: np.ndarray) -> np.ndarray:
+    """Elementwise ``deg**-0.5`` with zeros left at zero."""
+    result = np.zeros_like(degrees, dtype=np.float64)
+    nonzero = degrees > 0
+    result[nonzero] = degrees[nonzero] ** -0.5
+    return result
+
+
+class DGCF(Recommender):
+    """Intent-aware routing over the interaction graph.
+
+    Parameters
+    ----------
+    num_intents:
+        Number of disentangled intent chunks ``K`` (embed_dim must be
+        divisible by it).
+    num_iterations:
+        Routing iterations per layer.
+    """
+
+    name = "dgcf"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0, num_intents: int = 4, num_layers: int = 2,
+                 num_iterations: int = 2):
+        super().__init__(graph, embed_dim, seed)
+        if embed_dim % num_intents:
+            raise ValueError("embed_dim must be divisible by num_intents")
+        rng = np.random.default_rng(seed)
+        self.num_intents = int(num_intents)
+        self.num_layers = int(num_layers)
+        self.num_iterations = int(num_iterations)
+        self.chunk = embed_dim // num_intents
+        self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
+        self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+        coo = graph.interaction.tocoo()
+        self._edge_users = coo.row.astype(np.int64)
+        self._edge_items = coo.col.astype(np.int64)
+
+    def _intent_adjacencies(self, logits: np.ndarray) -> List[Tuple[sp.csr_matrix, sp.csr_matrix]]:
+        """Per-intent normalized adjacencies from the routing logits.
+
+        ``logits`` is ``(num_edges, K)``; scores are softmaxed across
+        intents per edge, then symmetrically degree-normalized per intent.
+        """
+        scores = np.exp(logits - logits.max(axis=1, keepdims=True))
+        scores = scores / scores.sum(axis=1, keepdims=True)
+        adjacencies = []
+        shape_ui = (self.graph.num_users, self.graph.num_items)
+        for intent in range(self.num_intents):
+            values = scores[:, intent]
+            matrix = sp.csr_matrix((values, (self._edge_users, self._edge_items)),
+                                   shape=shape_ui)
+            user_deg = np.asarray(matrix.sum(axis=1)).reshape(-1)
+            item_deg = np.asarray(matrix.sum(axis=0)).reshape(-1)
+            user_scale = sp.diags(_safe_inv_sqrt(user_deg))
+            item_scale = sp.diags(_safe_inv_sqrt(item_deg))
+            normalized = (user_scale @ matrix @ item_scale).tocsr()
+            adjacencies.append((normalized, normalized.T.tocsr()))
+        return adjacencies
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        users = self.user_embedding.all()
+        items = self.item_embedding.all()
+        user_chunks = [users[:, np.arange(i * self.chunk, (i + 1) * self.chunk)]
+                       for i in range(self.num_intents)]
+        item_chunks = [items[:, np.arange(i * self.chunk, (i + 1) * self.chunk)]
+                       for i in range(self.num_intents)]
+        user_out = [chunk for chunk in user_chunks]
+        item_out = [chunk for chunk in item_chunks]
+
+        for _ in range(self.num_layers):
+            logits = np.zeros((len(self._edge_users), self.num_intents))
+            new_users = user_chunks
+            new_items = item_chunks
+            for _ in range(self.num_iterations):
+                adjacencies = self._intent_adjacencies(logits)
+                new_users, new_items = [], []
+                for intent, (adj_ui, adj_iu) in enumerate(adjacencies):
+                    new_users.append(ops.spmm(adj_ui, item_chunks[intent]))
+                    new_items.append(ops.spmm(adj_iu, user_chunks[intent]))
+                    # Routing update: agreement between connected chunks.
+                    agreement = np.sum(
+                        new_users[intent].data[self._edge_users]
+                        * np.tanh(item_chunks[intent].data[self._edge_items]), axis=1)
+                    logits[:, intent] += agreement
+            user_chunks = new_users
+            item_chunks = new_items
+            user_out = [ops.add(total, chunk)
+                        for total, chunk in zip(user_out, user_chunks)]
+            item_out = [ops.add(total, chunk)
+                        for total, chunk in zip(item_out, item_chunks)]
+
+        scale = Tensor(np.array(1.0 / (self.num_layers + 1)))
+        user_final = ops.mul(ops.cat(user_out, axis=1), scale)
+        item_final = ops.mul(ops.cat(item_out, axis=1), scale)
+        return user_final, item_final

@@ -1,0 +1,367 @@
+"""DGNN — the paper's Disentangled Graph Neural Network.
+
+The model follows Section IV end to end:
+
+1. **Inputs** (Eq. 1): user, item and relation-node embeddings on the
+   collaborative heterogeneous graph.
+2. **Memory-augmented propagation** (Eqs. 3–6): each relation type owns a
+   :class:`~repro.models.memory.MemoryBank`; user updates combine the
+   target-gated social message with the source-gated interaction message
+   under the joint ``1/(|N^S|+|N^Y|)`` normalization (Eq. 4); item
+   updates combine user and relation-node messages under
+   ``1/(|N^Y|+|N^T|)`` (Eq. 5); relation nodes aggregate item gates
+   (Eq. 6).
+3. **Stabilization** (Eq. 7): LayerNorm with learned scale/shift inside a
+   LeakyReLU, plus a memory-encoded self-loop.
+4. **Cross-layer aggregation** (Eq. 8): concatenation of all layer
+   outputs followed by LayerNorm.
+5. **Social recalibration** (Eqs. 9–10): the scoring user vector is
+   ``H*[u] + τ(H*[u])`` where ``τ`` averages the user's social
+   neighbourhood (self included); folded into the returned user
+   embeddings so the shared dot-product scorer applies.
+
+Ablation switches map one-to-one onto the paper's variants:
+``use_memory=False`` is "-M" (single shared transform per relation, no
+gating), ``use_tau=False`` is "-τ", ``use_layernorm=False`` is "-LN", and
+building the graph with ``use_social=False`` / ``use_item_relations=
+False`` yields "-S" / "-T" / "-ST" (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.graph.adjacency import row_normalize, add_self_loops
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.models.base import Recommender
+from repro.models.memory import MemoryBank
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn import init
+
+_EDGE_TYPES = ("social", "user_from_item", "item_from_user", "item_from_relation",
+               "relation_from_item", "self_user", "self_item", "self_relation")
+
+
+class _PlainTransforms(Module):
+    """The "-M" ablation: one shared linear transform per edge type."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        for edge_type in _EDGE_TYPES:
+            setattr(self, f"weight_{edge_type}",
+                    Parameter(init.xavier_uniform((dim, dim), rng)))
+
+    def apply(self, edge_type: str, embeddings: Tensor) -> Tensor:
+        return ops.matmul(embeddings, getattr(self, f"weight_{edge_type}"))
+
+
+class _DgnnLayer(Module):
+    """One propagation layer: Eqs. 3–7 for users, items and relation nodes."""
+
+    def __init__(self, dim: int, num_memory_units: int, rng: np.random.Generator,
+                 use_memory: bool, use_layernorm: bool, literal_eq4: bool = False,
+                 message_dropout: float = 0.0):
+        super().__init__()
+        self.use_memory = use_memory
+        self.use_layernorm = use_layernorm
+        self.literal_eq4 = literal_eq4
+        self.dropout = Dropout(message_dropout, rng=np.random.default_rng(
+            int(rng.integers(0, 2**31))))
+        if use_memory:
+            self.banks = {edge_type: MemoryBank(dim, num_memory_units, rng)
+                          for edge_type in _EDGE_TYPES}
+            for edge_type, bank in self.banks.items():
+                self._modules[f"bank_{edge_type}"] = bank
+                object.__setattr__(self, f"bank_{edge_type}", bank)
+        else:
+            self.plain = _PlainTransforms(dim, rng)
+        self.norm_user = LayerNorm(dim)
+        self.norm_item = LayerNorm(dim)
+        self.norm_relation = LayerNorm(dim)
+
+    # -- message builders ------------------------------------------------
+    def _target_gated(self, edge_type: str, targets: Tensor, sources: Tensor,
+                      adjacency: sp.spmatrix) -> Tensor:
+        aggregated = ops.spmm(adjacency, sources)
+        if self.use_memory:
+            return self.banks[edge_type].encode_target_gated(targets, aggregated)
+        return self.plain.apply(edge_type, aggregated)
+
+    def _source_gated(self, edge_type: str, targets: Tensor, sources: Tensor,
+                      adjacency: sp.spmatrix) -> Tensor:
+        if self.use_memory:
+            return self.banks[edge_type].encode_source_gated(targets, sources, adjacency)
+        # Without memory units the source-gated form degrades to a plain
+        # transform of the target scaled by its (normalized) in-degree.
+        degree = np.asarray(adjacency.sum(axis=1))
+        return ops.mul(self.plain.apply(edge_type, targets), Tensor(degree))
+
+    def _self_loop(self, edge_type: str, embeddings: Tensor) -> Tensor:
+        if self.use_memory:
+            return self.banks[edge_type].encode_self(embeddings)
+        return self.plain.apply(edge_type, embeddings)
+
+    def _stabilize(self, aggregated: Tensor, previous: Tensor, norm: LayerNorm,
+                   edge_type: str) -> Tensor:
+        """Eq. 7: LeakyReLU(LayerNorm(message)) + memory self-propagation.
+
+        Message dropout (training only) regularizes the aggregated message
+        before normalization — the standard graph-recommender training
+        detail (NGCF / LightGCN family release code).
+        """
+        aggregated = self.dropout(aggregated)
+        activated = (ops.leaky_relu(norm(aggregated), 0.2) if self.use_layernorm
+                     else ops.leaky_relu(aggregated, 0.2))
+        return ops.add(activated, self._self_loop(edge_type, previous))
+
+    # -- full layer --------------------------------------------------------
+    def forward(self, graph: CollaborativeHeteroGraph, users: Tensor,
+                items: Tensor, relations: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        # Users (Eq. 4): social message + interaction message under the
+        # joint 1/(|N^S|+|N^Y|) normalization.  By default both use the
+        # Eq. 3 form (target gates transform aggregated source
+        # embeddings); ``literal_eq4`` reproduces the equation exactly as
+        # printed, where aggregated item *gates* transform the user's own
+        # embedding (see DESIGN.md §"Eq. 4 reading").
+        if self.literal_eq4:
+            interaction_message = self._source_gated(
+                "user_from_item", users, items, graph.user_item_joint)
+        else:
+            interaction_message = self._target_gated(
+                "user_from_item", users, items, graph.user_item_joint)
+        user_message = ops.add(
+            self._target_gated("social", users, users, graph.user_social_joint),
+            interaction_message)
+
+        # Items (Eq. 5): user messages + relation-node messages under the
+        # joint 1/(|N^Y|+|N^T|) normalization.
+        item_message = ops.add(
+            self._target_gated("item_from_user", items, users, graph.item_user_joint),
+            self._target_gated("item_from_relation", items, relations,
+                               graph.item_relation_joint))
+
+        # Relation nodes (Eq. 6): aggregated item messages, memory-gated.
+        if self.literal_eq4:
+            relation_message = self._source_gated(
+                "relation_from_item", relations, items, graph.relation_item_mean)
+        else:
+            relation_message = self._target_gated(
+                "relation_from_item", relations, items, graph.relation_item_mean)
+
+        new_users = self._stabilize(user_message, users, self.norm_user, "self_user")
+        new_items = self._stabilize(item_message, items, self.norm_item, "self_item")
+        new_relations = self._stabilize(relation_message, relations,
+                                        self.norm_relation, "self_relation")
+        return new_users, new_items, new_relations
+
+
+class DGNN(Recommender):
+    """Disentangled Graph Neural Network (the paper's model).
+
+    Parameters
+    ----------
+    graph:
+        Collaborative heterogeneous graph built from the training split.
+    embed_dim:
+        Hidden dimensionality ``d`` (paper default 16).
+    num_layers:
+        Graph propagation depth ``L`` (paper default 2).
+    num_memory_units:
+        ``|M|`` per memory bank (paper default 8).
+    use_memory / use_tau / use_layernorm:
+        Ablation switches for "-M" / "-τ" / "-LN" (Fig. 4).
+    """
+
+    name = "dgnn"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0, num_layers: int = 2, num_memory_units: int = 8,
+                 use_memory: bool = True, use_tau: bool = True,
+                 use_layernorm: bool = True, literal_eq4: bool = False,
+                 message_dropout: float = 0.1):
+        super().__init__(graph, embed_dim, seed)
+        if num_layers < 0:
+            raise ValueError("num_layers must be >= 0")
+        rng = np.random.default_rng(seed)
+        self.num_layers = int(num_layers)
+        self.num_memory_units = int(num_memory_units)
+        self.use_memory = use_memory
+        self.use_tau = use_tau
+        self.use_layernorm = use_layernorm
+        self.literal_eq4 = literal_eq4
+        self.message_dropout = float(message_dropout)
+
+        self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
+        self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+        self.relation_embedding = Embedding(graph.num_relations, embed_dim, rng=rng)
+        self.layers = ModuleList([
+            _DgnnLayer(embed_dim, num_memory_units, rng, use_memory, use_layernorm,
+                       literal_eq4, message_dropout)
+            for _ in range(self.num_layers)
+        ])
+        self.final_norm = LayerNorm(embed_dim * (self.num_layers + 1))
+        # τ (Eq. 9): row-normalized (S + I) averaging a user's social
+        # neighbourhood including themselves.
+        self._tau_matrix = row_normalize(add_self_loops(graph.social))
+
+    # ------------------------------------------------------------------
+    def propagate_all(self) -> Tuple[Tensor, Tensor, Tensor]:
+        """Run Eqs. 3–8; return final user / item / relation embeddings."""
+        users = self.user_embedding.all()
+        items = self.item_embedding.all()
+        relations = self.relation_embedding.all()
+        user_layers: List[Tensor] = [users]
+        item_layers: List[Tensor] = [items]
+        relation_layers: List[Tensor] = [relations]
+        for layer in self.layers:
+            users, items, relations = layer(self.graph, users, items, relations)
+            user_layers.append(users)
+            item_layers.append(items)
+            relation_layers.append(relations)
+        if self.use_layernorm:
+            user_final = self.final_norm(ops.cat(user_layers, axis=1))
+            item_final = self.final_norm(ops.cat(item_layers, axis=1))
+            relation_final = self.final_norm(ops.cat(relation_layers, axis=1))
+        else:
+            user_final = ops.cat(user_layers, axis=1)
+            item_final = ops.cat(item_layers, axis=1)
+            relation_final = ops.cat(relation_layers, axis=1)
+        return user_final, item_final, relation_final
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        """Final embeddings with τ folded into the user side (Eq. 10)."""
+        user_final, item_final, _ = self.propagate_all()
+        if self.use_tau:
+            recalibrated = ops.spmm(self._tau_matrix, user_final)
+            user_final = ops.add(user_final, recalibrated)
+        return user_final, item_final
+
+    # ------------------------------------------------------------------
+    # Minibatch (neighbour-sampled) training
+    # ------------------------------------------------------------------
+    def propagate_on(self, subgraph) -> Tuple[Tensor, Tensor]:
+        """Run the propagation on an induced subgraph view.
+
+        ``subgraph`` is a :class:`repro.graph.sampling.InducedSubgraph`;
+        the returned embeddings cover its local user/item rows (gradients
+        scatter back into the global embedding tables).  Normalizers are
+        the induced-degree approximation of full-graph propagation.
+        """
+        users = ops.gather_rows(self.user_embedding.weight, subgraph.user_ids)
+        items = ops.gather_rows(self.item_embedding.weight, subgraph.item_ids)
+        relations = self.relation_embedding.all()
+        user_layers: List[Tensor] = [users]
+        item_layers: List[Tensor] = [items]
+        for layer in self.layers:
+            users, items, relations = layer(subgraph.graph, users, items,
+                                            relations)
+            user_layers.append(users)
+            item_layers.append(items)
+        if self.use_layernorm:
+            user_final = self.final_norm(ops.cat(user_layers, axis=1))
+            item_final = self.final_norm(ops.cat(item_layers, axis=1))
+        else:
+            user_final = ops.cat(user_layers, axis=1)
+            item_final = ops.cat(item_layers, axis=1)
+        if self.use_tau:
+            tau_matrix = row_normalize(add_self_loops(subgraph.graph.social))
+            user_final = ops.add(user_final, ops.spmm(tau_matrix, user_final))
+        return user_final, item_final
+
+    def bpr_loss_sampled(self, users: np.ndarray, positives: np.ndarray,
+                         negatives: np.ndarray, l2: float = 1e-4,
+                         hops: Optional[int] = None,
+                         fanout: Optional[int] = 20,
+                         seed: int = 0) -> Tensor:
+        """BPR loss computed on the batch's sampled L-hop neighbourhood.
+
+        A drop-in alternative to :meth:`bpr_loss` whose cost scales with
+        the neighbourhood instead of the full graph — the practical
+        trainer for graphs of the paper's Epinions/Yelp size.  ``hops``
+        defaults to the model depth; ``fanout`` caps sampled neighbours
+        per node per relation (``None`` = keep all).
+        """
+        from repro.graph.sampling import expand_neighborhood, induced_subgraph
+
+        self.invalidate_cache()
+        users = np.asarray(users, dtype=np.int64)
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        seed_items = np.concatenate([positives, negatives])
+        user_ids, item_ids = expand_neighborhood(
+            self.graph, users, seed_items,
+            hops=self.num_layers if hops is None else hops,
+            fanout=fanout, seed=seed)
+        subgraph = induced_subgraph(self.graph, user_ids, item_ids)
+        user_emb, item_emb = self.propagate_on(subgraph)
+        u = ops.gather_rows(user_emb, subgraph.local_users(users))
+        p = ops.gather_rows(item_emb, subgraph.local_items(positives))
+        n = ops.gather_rows(item_emb, subgraph.local_items(negatives))
+        pos_scores = ops.sum(ops.mul(u, p), axis=1)
+        neg_scores = ops.sum(ops.mul(u, n), axis=1)
+        loss = ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos_scores, neg_scores))))
+        if l2 > 0:
+            reg = ops.mean(ops.sum(u * u + p * p + n * n, axis=1))
+            loss = ops.add(loss, ops.mul(Tensor(np.array(l2)), reg))
+        return loss
+
+    # ------------------------------------------------------------------
+    # Introspection for the case studies (Figs. 9-10)
+    # ------------------------------------------------------------------
+    def memory_attention(self, edge_type: str, layer: int = -1) -> np.ndarray:
+        """Gate vectors ``η`` of the given edge type's bank at one layer.
+
+        Returns the ``(n, |M|)`` attention of the bank's *gating* nodes
+        (users for ``"social"``, items for ``"user_from_item"``, ...),
+        evaluated on the current final layer-input embeddings.  This is
+        the quantity visualized in Fig. 10.
+        """
+        if not self.use_memory:
+            raise RuntimeError("memory attention requires use_memory=True")
+        if not len(self.layers):
+            raise RuntimeError("memory attention requires at least one layer")
+        bank: MemoryBank = self.layers[layer].banks[edge_type]
+        user_final, item_final, relation_final = (
+            tensor.data for tensor in self._layer_inputs(layer))
+        # The gating side is the node set whose embeddings feed η for this
+        # bank: the target for Eq. 3 (target-gated) banks, the source for
+        # the literal Eq. 4 / Eq. 6 (source-gated) forms.
+        gating_side = {
+            "social": user_final,
+            "user_from_item": item_final if self.literal_eq4 else user_final,
+            "item_from_user": item_final,
+            "item_from_relation": item_final,
+            "relation_from_item": (item_final if self.literal_eq4
+                                   else relation_final),
+            "self_user": user_final,
+            "self_item": item_final,
+            "self_relation": relation_final,
+        }[edge_type]
+        return bank.gate_values(gating_side)
+
+    def user_memory_attention(self, edge_type: str = "social",
+                              layer: int = -1) -> np.ndarray:
+        """User-side gate vectors for Fig. 10 (``social`` or ``self_user``)."""
+        if edge_type not in ("social", "self_user"):
+            raise ValueError("user-side attention exists for 'social'/'self_user'")
+        return self.memory_attention(edge_type, layer)
+
+    def _layer_inputs(self, layer: int) -> Tuple[Tensor, Tensor, Tensor]:
+        """Embeddings entering ``layer`` (inference pass, no grad)."""
+        from repro.autograd.tensor import no_grad
+
+        layer = layer % max(len(self.layers), 1)
+        with no_grad():
+            users = self.user_embedding.all()
+            items = self.item_embedding.all()
+            relations = self.relation_embedding.all()
+            for current in range(layer):
+                users, items, relations = self.layers[current](
+                    self.graph, users, items, relations)
+        return users, items, relations

@@ -1,0 +1,122 @@
+"""DisenHAN — Disentangled Heterogeneous graph Attention Network
+(Wang et al., CIKM 2020).
+
+The published model disentangles each node's embedding into ``K`` aspect
+subspaces and learns, per aspect, a *relation-level* attention deciding
+how much each incoming relation (social / interaction / item-relation)
+contributes — iteratively refined so different aspects specialize on
+different relations.  This implementation keeps that structure: aspect
+projections, per-aspect relation aggregation, and a routing-style
+relation attention updated from the agreement between the aspect
+embedding and each relation's aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.models.base import Recommender
+from repro.nn import init
+from repro.nn.layers import Embedding
+from repro.nn.module import Module, Parameter
+
+
+class _AspectProjections(Module):
+    """Per-aspect linear projections of one node type's embeddings."""
+
+    def __init__(self, dim: int, num_aspects: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_aspects = num_aspects
+        self.weight = Parameter(init.xavier_uniform((num_aspects, dim, dim), rng))
+
+    def forward(self, embeddings: Tensor) -> List[Tensor]:
+        return [ops.leaky_relu(ops.matmul(embeddings, self.weight[np.int64(k)]), 0.2)
+                for k in range(self.num_aspects)]
+
+
+class DisenHAN(Recommender):
+    """Aspect-disentangled relation-level attention.
+
+    Parameters
+    ----------
+    num_aspects:
+        Number of disentangled aspect subspaces ``K``.
+    num_iterations:
+        Relation-attention refinement iterations per propagation.
+    """
+
+    name = "disenhan"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0, num_aspects: int = 4, num_iterations: int = 2):
+        super().__init__(graph, embed_dim, seed)
+        rng = np.random.default_rng(seed)
+        self.num_aspects = int(num_aspects)
+        self.num_iterations = int(num_iterations)
+        self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
+        self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+        self.relation_embedding = Embedding(graph.num_relations, embed_dim, rng=rng)
+        self.user_aspects = _AspectProjections(embed_dim, self.num_aspects, rng)
+        self.item_aspects = _AspectProjections(embed_dim, self.num_aspects, rng)
+
+    @staticmethod
+    def _routed_fusion(base: Tensor, relation_aggregates: List[Tensor],
+                       num_iterations: int) -> Tensor:
+        """Iterative relation-level attention for one aspect.
+
+        Starts from uniform attention over the relations; each iteration
+        re-weights them by agreement with the current fused embedding.
+        """
+        num_nodes = base.shape[0]
+        logits = Tensor(np.zeros((num_nodes, len(relation_aggregates))))
+        fused = base
+        for _ in range(num_iterations):
+            weights = ops.softmax(logits, axis=1)
+            fused = base
+            agreements = []
+            for index, aggregate in enumerate(relation_aggregates):
+                weight = ops.reshape(weights[:, np.int64(index)], (num_nodes, 1))
+                fused = ops.add(fused, ops.mul(aggregate, weight))
+                agreements.append(ops.sum(ops.mul(ops.tanh(fused),
+                                                  ops.tanh(aggregate)),
+                                          axis=1, keepdims=True))
+            logits = ops.cat(agreements, axis=1)
+        return fused
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        users = self.user_embedding.all()
+        items = self.item_embedding.all()
+        relations = self.relation_embedding.all()
+        user_aspects = self.user_aspects(users)
+        item_aspects = self.item_aspects(items)
+
+        user_parts: List[Tensor] = []
+        item_parts: List[Tensor] = []
+        for aspect in range(self.num_aspects):
+            user_social = ops.spmm(self.graph.social_mean, user_aspects[aspect])
+            user_items = ops.spmm(self.graph.user_item_mean, item_aspects[aspect])
+            user_parts.append(self._routed_fusion(
+                user_aspects[aspect], [user_social, user_items],
+                self.num_iterations))
+            item_users = ops.spmm(self.graph.item_user_mean, user_aspects[aspect])
+            item_relations = ops.spmm(self.graph.item_relation_mean, relations)
+            item_parts.append(self._routed_fusion(
+                item_aspects[aspect], [item_users, item_relations],
+                self.num_iterations))
+
+        scale = Tensor(np.array(1.0 / self.num_aspects))
+        user_final = ops.add(users, ops.mul(_sum_tensors(user_parts), scale))
+        item_final = ops.add(items, ops.mul(_sum_tensors(item_parts), scale))
+        return user_final, item_final
+
+
+def _sum_tensors(tensors: List[Tensor]) -> Tensor:
+    total = tensors[0]
+    for tensor in tensors[1:]:
+        total = ops.add(total, tensor)
+    return total

@@ -1,0 +1,126 @@
+"""HGT — Heterogeneous Graph Transformer (Hu et al., WWW 2020).
+
+The published architecture keeps distinct parameters per node type and
+per edge type: type-specific Key/Query/Value projections, edge-type
+attention and message matrices, and target-type output projections with
+residual connections.  Attention is scaled dot product per edge,
+normalized over each target's incoming edges — the mechanism the paper
+credits for HGT's strong accuracy and blames for its high cost in
+Table IV (per-edge projected attention vs DGNN's per-node gates).
+
+Node types: user / item / relation-node.  Edge types: social, user→item,
+item→user, item→relation, relation→item.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.graph.hetero import CollaborativeHeteroGraph, EdgeSet
+from repro.models.base import Recommender
+from repro.nn import init
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module, ModuleList, Parameter
+
+_NODE_TYPES = ("user", "item", "relation")
+# (edge name, source type, target type, edge list kind)
+_EDGE_SPECS = (
+    ("social", "user", "user", "social"),
+    ("iu", "user", "item", "iu"),
+    ("ui", "item", "user", "ui"),
+    ("ri", "item", "relation", "ri"),
+    ("ir", "relation", "item", "ir"),
+)
+
+
+class _HgtLayer(Module):
+    """One HGT layer: typed K/Q/V, edge-type attention, typed output."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        for node_type in _NODE_TYPES:
+            setattr(self, f"key_{node_type}", Linear(dim, dim, bias=False, rng=rng))
+            setattr(self, f"query_{node_type}", Linear(dim, dim, bias=False, rng=rng))
+            setattr(self, f"value_{node_type}", Linear(dim, dim, bias=False, rng=rng))
+            setattr(self, f"out_{node_type}", Linear(dim, dim, rng=rng))
+        for edge_name, _, _, _ in _EDGE_SPECS:
+            setattr(self, f"att_{edge_name}",
+                    Parameter(init.xavier_uniform((dim, dim), rng)))
+            setattr(self, f"msg_{edge_name}",
+                    Parameter(init.xavier_uniform((dim, dim), rng)))
+
+    def forward(self, features: Dict[str, Tensor],
+                edge_lists: Dict[str, EdgeSet]) -> Dict[str, Tensor]:
+        keys = {t: getattr(self, f"key_{t}")(features[t]) for t in _NODE_TYPES}
+        queries = {t: getattr(self, f"query_{t}")(features[t]) for t in _NODE_TYPES}
+        values = {t: getattr(self, f"value_{t}")(features[t]) for t in _NODE_TYPES}
+
+        aggregated: Dict[str, Tensor] = {}
+        for edge_name, src_type, dst_type, _ in _EDGE_SPECS:
+            edges = edge_lists[edge_name]
+            if len(edges) == 0:
+                continue
+            num_targets = features[dst_type].shape[0]
+            key_edge = ops.gather_rows(keys[src_type], edges.src)
+            query_edge = ops.gather_rows(queries[dst_type], edges.dst)
+            att_matrix = getattr(self, f"att_{edge_name}")
+            scores = ops.mul(ops.sum(ops.mul(ops.matmul(key_edge, att_matrix),
+                                             query_edge), axis=1),
+                             Tensor(np.array(1.0 / np.sqrt(self.dim))))
+            alpha = ops.segment_softmax(scores, edges.dst, num_targets)
+            message = ops.matmul(ops.gather_rows(values[src_type], edges.src),
+                                 getattr(self, f"msg_{edge_name}"))
+            weighted = ops.mul(message, ops.reshape(alpha, (len(edges), 1)))
+            summed = ops.segment_sum(weighted, edges.dst, num_targets)
+            if dst_type in aggregated:
+                aggregated[dst_type] = ops.add(aggregated[dst_type], summed)
+            else:
+                aggregated[dst_type] = summed
+
+        outputs: Dict[str, Tensor] = {}
+        for node_type in _NODE_TYPES:
+            if node_type in aggregated:
+                projected = getattr(self, f"out_{node_type}")(
+                    ops.leaky_relu(aggregated[node_type], 0.2))
+                outputs[node_type] = ops.add(projected, features[node_type])
+            else:
+                outputs[node_type] = features[node_type]
+        return outputs
+
+
+class HGT(Recommender):
+    """Heterogeneous Graph Transformer on the collaborative graph."""
+
+    name = "hgt"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0, num_layers: int = 2):
+        super().__init__(graph, embed_dim, seed)
+        rng = np.random.default_rng(seed)
+        self.num_layers = int(num_layers)
+        self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
+        self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+        self.relation_embedding = Embedding(graph.num_relations, embed_dim, rng=rng)
+        self.layers = ModuleList([_HgtLayer(embed_dim, rng)
+                                  for _ in range(self.num_layers)])
+        self._edge_lists = {name: graph.edges(kind)
+                            for name, _, _, kind in _EDGE_SPECS}
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        features = {
+            "user": self.user_embedding.all(),
+            "item": self.item_embedding.all(),
+            "relation": self.relation_embedding.all(),
+        }
+        user_layers = [features["user"]]
+        item_layers = [features["item"]]
+        for layer in self.layers:
+            features = layer(features, self._edge_lists)
+            user_layers.append(features["user"])
+            item_layers.append(features["item"])
+        return ops.cat(user_layers, axis=1), ops.cat(item_layers, axis=1)

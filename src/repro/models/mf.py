@@ -1,0 +1,59 @@
+"""Matrix-factorization reference models.
+
+:class:`BprMF` is the classic pairwise matrix factorization every graph
+recommender builds on; :class:`MostPopular` is the non-personalized floor.
+Neither appears in the paper's tables, but both anchor the synthetic
+benchmark (every published model should beat them) and serve as fast
+sanity baselines in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.models.base import Recommender
+from repro.nn.layers import Embedding
+
+
+class BprMF(Recommender):
+    """BPR-optimized matrix factorization (Rendle et al., 2009)."""
+
+    name = "bpr-mf"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0):
+        super().__init__(graph, embed_dim, seed)
+        rng = np.random.default_rng(seed)
+        self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
+        self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        return self.user_embedding.all(), self.item_embedding.all()
+
+
+class MostPopular(Recommender):
+    """Rank items by training interaction count (no learned parameters).
+
+    Implemented as fixed rank-1 embeddings: every user maps to ``[1]`` and
+    each item to ``[popularity]``, so the shared dot-product scoring and
+    evaluation stack apply unchanged.
+    """
+
+    name = "most-popular"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0):
+        super().__init__(graph, embed_dim=1, seed=seed)
+        popularity = np.asarray(graph.interaction.sum(axis=0)).reshape(-1, 1)
+        self._user_emb = Tensor(np.ones((graph.num_users, 1)))
+        self._item_emb = Tensor(popularity)
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        return self._user_emb, self._item_emb
+
+    def bpr_loss(self, users, positives, negatives, l2: float = 1e-4) -> Tensor:
+        raise RuntimeError("MostPopular has no trainable parameters")

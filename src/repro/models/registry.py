@@ -1,0 +1,97 @@
+"""Model registry: build any compared model by its paper-table name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.models.base import Recommender
+
+_FACTORIES: Dict[str, Callable[..., Recommender]] = {}
+
+
+def register(name: str) -> Callable:
+    """Class decorator adding a model class to the registry under ``name``."""
+
+    def wrap(cls):
+        _FACTORIES[name] = cls
+        cls.name = name
+        return cls
+
+    return wrap
+
+
+def _populate() -> None:
+    """Import all model modules so their classes self-register."""
+    if _FACTORIES:
+        return
+    from repro.models import mf, dgnn  # noqa: F401
+    from repro.models import ngcf, gccf, lightgcn  # noqa: F401
+    from repro.models import diffnet, graphrec, samn, eatnn, dgrec, mhcn  # noqa: F401
+    from repro.models import kgat, dgcf, disenhan, han, hgt, herec  # noqa: F401
+    from repro.models import classic  # noqa: F401
+
+    _FACTORIES.setdefault("dgnn", dgnn.DGNN)
+    _FACTORIES.setdefault("bpr-mf", mf.BprMF)
+    _FACTORIES.setdefault("most-popular", mf.MostPopular)
+    _FACTORIES.setdefault("ngcf", ngcf.NGCF)
+    _FACTORIES.setdefault("gccf", gccf.GCCF)
+    _FACTORIES.setdefault("lightgcn", lightgcn.LightGCN)
+    _FACTORIES.setdefault("diffnet", diffnet.DiffNet)
+    _FACTORIES.setdefault("graphrec", graphrec.GraphRec)
+    _FACTORIES.setdefault("samn", samn.SAMN)
+    _FACTORIES.setdefault("eatnn", eatnn.EATNN)
+    _FACTORIES.setdefault("dgrec", dgrec.DGRec)
+    _FACTORIES.setdefault("mhcn", mhcn.MHCN)
+    _FACTORIES.setdefault("kgat", kgat.KGAT)
+    _FACTORIES.setdefault("dgcf", dgcf.DGCF)
+    _FACTORIES.setdefault("disenhan", disenhan.DisenHAN)
+    _FACTORIES.setdefault("han", han.HAN)
+    _FACTORIES.setdefault("hgt", hgt.HGT)
+    _FACTORIES.setdefault("herec", herec.HERec)
+    _FACTORIES.setdefault("sorec", classic.SoRec)
+    _FACTORIES.setdefault("trustmf", classic.TrustMF)
+
+
+class _Registry(dict):
+    """Lazy dict: populates the registry on first access."""
+
+    def __getitem__(self, key):
+        _populate()
+        return _FACTORIES[key]
+
+    def __contains__(self, key):
+        _populate()
+        return key in _FACTORIES
+
+    def keys(self):
+        _populate()
+        return _FACTORIES.keys()
+
+    def items(self):
+        _populate()
+        return _FACTORIES.items()
+
+
+MODEL_REGISTRY = _Registry()
+
+# Models appearing in Table II of the paper, in column order.
+PAPER_TABLE2_MODELS = (
+    "samn", "eatnn", "diffnet", "graphrec", "ngcf", "gccf", "dgrec",
+    "kgat", "dgcf", "disenhan", "han", "hgt", "herec", "mhcn", "dgnn",
+)
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    _populate()
+    return sorted(_FACTORIES)
+
+
+def create_model(name: str, graph: CollaborativeHeteroGraph,
+                 embed_dim: int = 16, seed: int = 0, **kwargs) -> Recommender:
+    """Instantiate a model by registry name."""
+    _populate()
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown model {name!r}; known: {available_models()}")
+    return _FACTORIES[name](graph, embed_dim=embed_dim, seed=seed, **kwargs)

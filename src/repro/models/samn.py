@@ -1,0 +1,74 @@
+"""SAMN — Social Attentional Memory Network (Chen et al., WSDM 2019).
+
+SAMN's two published stages are kept:
+
+1. **Attention-based memory module** — for each social tie the joint
+   user–friend key addresses a shared memory of relation vectors,
+   producing a relation-specific *friend vector* (rather than using the
+   friend's raw embedding);
+2. **Friend-level attention** — an attention over a user's friends
+   weights those friend vectors into the social representation, which is
+   added to the user's base embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.models.base import Recommender
+from repro.nn import init
+from repro.nn.layers import Embedding
+from repro.nn.module import Parameter
+
+
+class SAMN(Recommender):
+    """Attentional memory over social relations.
+
+    Parameters
+    ----------
+    num_memories:
+        Size of the shared relation-memory slab (paper default 8).
+    """
+
+    name = "samn"
+
+    def __init__(self, graph: CollaborativeHeteroGraph, embed_dim: int = 16,
+                 seed: int = 0, num_memories: int = 8):
+        super().__init__(graph, embed_dim, seed)
+        rng = np.random.default_rng(seed)
+        self.num_memories = int(num_memories)
+        self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
+        self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+        # Memory keys and slots of the attention-based memory module.
+        self.memory_keys = Parameter(
+            init.xavier_uniform((embed_dim, self.num_memories), rng))
+        self.memory_slots = Parameter(
+            init.xavier_uniform((self.num_memories, embed_dim), rng))
+        # Friend-level attention vector.
+        self.friend_attention = Parameter(init.xavier_uniform((embed_dim,), rng))
+        self._social = graph.edges("social")
+
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        users = self.user_embedding.all()
+        items = self.item_embedding.all()
+        edges = self._social
+        if len(edges) == 0:
+            return users, items
+        user_side = ops.gather_rows(users, edges.dst)
+        friend_side = ops.gather_rows(users, edges.src)
+        # Stage 1: joint key -> memory attention -> relation vector.
+        joint_key = ops.mul(user_side, friend_side)
+        memory_attention = ops.softmax(ops.matmul(joint_key, self.memory_keys), axis=1)
+        relation_vectors = ops.matmul(memory_attention, self.memory_slots)
+        friend_vectors = ops.mul(friend_side, relation_vectors)
+        # Stage 2: friend-level attention per user.
+        scores = ops.matmul(ops.tanh(friend_vectors), self.friend_attention)
+        alpha = ops.segment_softmax(scores, edges.dst, self.graph.num_users)
+        weighted = ops.mul(friend_vectors, ops.reshape(alpha, (len(edges), 1)))
+        social_repr = ops.segment_sum(weighted, edges.dst, self.graph.num_users)
+        return ops.add(users, social_repr), items

@@ -1,0 +1,28 @@
+"""Neural-network toolkit on top of :mod:`repro.autograd`.
+
+Provides the module system (:class:`Module`, :class:`Parameter`), common
+layers (:class:`Linear`, :class:`Embedding`, :class:`LayerNorm`,
+:class:`Dropout`), weight initializers, and optimizers (:class:`SGD`,
+:class:`Adam`).
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, Sequential
+from repro.nn import init
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "init",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+]

@@ -1,0 +1,25 @@
+"""Training: BPR loop (Alg. 1 / Eq. 11), configuration, early stopping."""
+
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer, TrainingHistory
+from repro.train.early_stopping import EarlyStopping
+from repro.train.checkpoint import save_checkpoint, load_checkpoint, restore_model
+from repro.train.search import grid_search, GridSearchReport, SearchResult, paper_tuning_grid
+from repro.train.pretrain import PretrainConfig, pretrain_embeddings, apply_pretrained
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_model",
+    "grid_search",
+    "GridSearchReport",
+    "SearchResult",
+    "paper_tuning_grid",
+    "PretrainConfig",
+    "pretrain_embeddings",
+    "apply_pretrained",
+]

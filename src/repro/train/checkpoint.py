@@ -1,0 +1,61 @@
+"""Model checkpointing: save/load parameter snapshots as ``.npz`` archives.
+
+A checkpoint stores the model's ``state_dict`` plus a small metadata
+header (model name, embed dim, epoch, metrics), enough to resume training
+or to reload a trained model for inference on the same graph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model, path: PathLike, epoch: int = -1,
+                    metrics: Optional[Dict[str, float]] = None,
+                    extra: Optional[Dict[str, object]] = None) -> None:
+    """Write ``model``'s parameters and metadata to ``path`` (.npz)."""
+    payload = {name: values for name, values in model.state_dict().items()}
+    meta = {
+        "model_name": getattr(model, "name", type(model).__name__),
+        "embed_dim": getattr(model, "embed_dim", None),
+        "epoch": int(epoch),
+        "metrics": metrics or {},
+        "extra": extra or {},
+    }
+    payload[_META_KEY] = np.asarray(json.dumps(meta))
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_checkpoint(path: PathLike) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Read a checkpoint; returns ``(state_dict, metadata)``."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta = json.loads(str(archive[_META_KEY]))
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+    return state, meta
+
+
+def restore_model(model, path: PathLike, strict_name: bool = True) -> Dict:
+    """Load a checkpoint's parameters into ``model``; returns the metadata.
+
+    ``strict_name`` guards against loading a checkpoint from a different
+    model class.
+    """
+    state, meta = load_checkpoint(path)
+    if strict_name and meta["model_name"] != getattr(model, "name", None):
+        raise ValueError(
+            f"checkpoint is for {meta['model_name']!r}, model is "
+            f"{getattr(model, 'name', None)!r}; pass strict_name=False to force")
+    model.load_state_dict(state)
+    if hasattr(model, "invalidate_cache"):
+        model.invalidate_cache()
+    return meta

@@ -1,0 +1,53 @@
+"""Training configuration.
+
+Defaults mirror the paper's hyperparameter settings (Section V-A4):
+Adam with learning rate 0.01, embedding dimension 16, batch size in the
+[512, 4096] range, L2 coefficient 1e-4, 8 memory units, 2 graph layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for :class:`repro.train.Trainer`."""
+
+    epochs: int = 30
+    batch_size: int = 1024
+    learning_rate: float = 0.01
+    l2: float = 1e-4
+    weight_decay: float = 0.0  # Eq. 11's λ||Θ||², applied through Adam
+    batches_per_epoch: Optional[int] = None  # None -> cover the training set once
+    eval_every: int = 1
+    eval_ks: Tuple[int, ...] = (5, 10, 20)
+    early_stopping_metric: str = "hr@10"
+    patience: Optional[int] = 10
+    clip_norm: Optional[float] = 5.0
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+
+
+@dataclass
+class PaperHyperparameters:
+    """The model-side settings of Section V-A4, for reference and sweeps."""
+
+    embed_dim: int = 16
+    num_layers: int = 2
+    num_memory_units: int = 8
+    embed_dim_grid: Tuple[int, ...] = (4, 8, 16, 32)
+    layer_grid: Tuple[int, ...] = (0, 1, 2, 3)
+    memory_grid: Tuple[int, ...] = (2, 4, 8, 16)
+    l2_grid: Tuple[float, ...] = field(default=(1e-3, 1e-4, 1e-5))

@@ -1,0 +1,130 @@
+"""The BPR training loop (Alg. 1 of the paper).
+
+Per epoch: sample BPR triple batches, run the model's full heterogeneous
+propagation, backpropagate the pairwise loss (Eq. 11), and step Adam.
+Evaluation uses the shared 1-positive + 100-negative protocol.  The
+trainer records per-epoch losses, metric trajectories and wall-clock
+timings — the raw material for Table IV and Fig. 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.data.sampling import BprSampler, EvalCandidates, build_eval_candidates
+from repro.data.split import Split
+from repro.eval.protocol import evaluate_model
+from repro.models.base import Recommender
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.train.config import TrainConfig
+from repro.train.early_stopping import EarlyStopping
+
+
+@dataclass
+class TrainingHistory:
+    """Everything a training run produced."""
+
+    losses: List[float] = field(default_factory=list)
+    eval_epochs: List[int] = field(default_factory=list)
+    metrics: List[Dict[str, float]] = field(default_factory=list)
+    train_seconds: List[float] = field(default_factory=list)
+    eval_seconds: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.losses)
+
+    def metric_curve(self, name: str) -> List[float]:
+        """Trajectory of one metric over the evaluated epochs (Fig. 8)."""
+        return [m[name] for m in self.metrics]
+
+    def mean_train_seconds(self) -> float:
+        """Average training wall-clock per epoch (Table IV)."""
+        return sum(self.train_seconds) / max(len(self.train_seconds), 1)
+
+    def mean_eval_seconds(self) -> float:
+        """Average evaluation wall-clock per pass (Table IV)."""
+        return sum(self.eval_seconds) / max(len(self.eval_seconds), 1)
+
+
+class Trainer:
+    """Trains a :class:`Recommender` on a leave-one-out split.
+
+    Parameters
+    ----------
+    model:
+        Any recommender following the shared interface.
+    split:
+        Leave-one-out split; the model's graph must have been built from
+        ``split.train_pairs``.
+    config:
+        Hyperparameters; see :class:`TrainConfig`.
+    candidates:
+        Pre-built evaluation candidates.  Pass the same object to every
+        model in a comparison so they rank identical negatives.
+    """
+
+    def __init__(self, model: Recommender, split: Split,
+                 config: Optional[TrainConfig] = None,
+                 candidates: Optional[EvalCandidates] = None):
+        self.model = model
+        self.split = split
+        self.config = config or TrainConfig()
+        self.candidates = candidates if candidates is not None else build_eval_candidates(
+            split, seed=self.config.seed)
+        self.sampler = BprSampler(split, batch_size=self.config.batch_size,
+                                  seed=self.config.seed)
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
+                              weight_decay=self.config.weight_decay)
+
+    def fit(self) -> TrainingHistory:
+        """Run the training loop and return the recorded history.
+
+        Early stopping (if configured) restores the best snapshot before
+        returning, so the model is left at its best evaluated state.
+        """
+        config = self.config
+        history = TrainingHistory()
+        stopper = EarlyStopping(metric=config.early_stopping_metric,
+                                patience=config.patience)
+        batches = config.batches_per_epoch or self.sampler.batches_for_full_epoch()
+
+        for epoch in range(config.epochs):
+            start = time.perf_counter()
+            epoch_loss = 0.0
+            self.model.train()
+            for users, positives, negatives in self.sampler.epoch(batches):
+                self.optimizer.zero_grad()
+                loss = self.model.bpr_loss(users, positives, negatives, l2=config.l2)
+                loss.backward()
+                if config.clip_norm is not None:
+                    clip_grad_norm(self.model.parameters(), config.clip_norm)
+                self.optimizer.step()
+                epoch_loss += loss.item()
+            self.model.invalidate_cache()
+            history.losses.append(epoch_loss / batches)
+            history.train_seconds.append(time.perf_counter() - start)
+
+            if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+                start = time.perf_counter()
+                metrics = evaluate_model(self.model, self.candidates, ks=config.eval_ks)
+                history.eval_seconds.append(time.perf_counter() - start)
+                history.eval_epochs.append(epoch)
+                history.metrics.append(metrics)
+                if config.verbose:
+                    summary = ", ".join(f"{k}={v:.4f}" for k, v in metrics.items())
+                    print(f"[{self.model.name}] epoch {epoch + 1}: "
+                          f"loss={history.losses[-1]:.4f}, {summary}")
+                if stopper.update(metrics, self.model, epoch):
+                    break
+
+        stopper.restore_best(self.model)
+        history.best_epoch = stopper.best_epoch
+        if stopper.best_state is not None:
+            best_index = history.eval_epochs.index(stopper.best_epoch)
+            history.best_metrics = dict(history.metrics[best_index])
+        return history

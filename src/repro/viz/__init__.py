@@ -1,0 +1,23 @@
+"""Visualization utilities: numpy t-SNE and memory-attention analysis."""
+
+from repro.viz.tsne import tsne
+from repro.viz.attention import (
+    attention_to_rgb,
+    pairwise_attention_similarity,
+    subgraph_attention_coherence,
+)
+from repro.viz.separation import cluster_separation_score, user_item_affinity_score
+from repro.viz.svgplot import grouped_bar_chart, line_chart, scatter_plot, rgb_string
+
+__all__ = [
+    "tsne",
+    "attention_to_rgb",
+    "pairwise_attention_similarity",
+    "subgraph_attention_coherence",
+    "cluster_separation_score",
+    "user_item_affinity_score",
+    "grouped_bar_chart",
+    "line_chart",
+    "scatter_plot",
+    "rgb_string",
+]

@@ -1,0 +1,240 @@
+"""Dependency-free SVG chart rendering for the paper's figures.
+
+matplotlib is unavailable offline, so this module writes standards-plain
+SVG directly: grouped bar charts (Figs. 4, 5, 6), line charts (Figs. 7,
+8) and scatter plots (Fig. 9, Fig. 10 colourings).  The geometry is kept
+deliberately simple — linear scales, one axis pair, legend column — and
+every public function returns the SVG text (and optionally writes it),
+so tests can assert on structure without rasterizing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, os.PathLike]
+
+# A colour-blind-friendly cycle (Okabe-Ito).
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#D55E00",
+           "#CC79A7", "#56B4E9", "#F0E442", "#000000")
+
+
+def _escape(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class _Canvas:
+    """Minimal SVG assembly with a margin-aware data viewport."""
+
+    def __init__(self, width: int, height: int, title: str = ""):
+        self.width = width
+        self.height = height
+        self.margin = dict(left=62, right=150, top=36, bottom=46)
+        self.parts: List[str] = []
+        if title:
+            self.parts.append(
+                f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+                f'font-size="14" font-family="sans-serif" font-weight="bold">'
+                f'{_escape(title)}</text>')
+
+    @property
+    def plot_box(self) -> Tuple[float, float, float, float]:
+        """(x0, y0, x1, y1) of the data viewport in SVG coordinates."""
+        return (self.margin["left"], self.margin["top"],
+                self.width - self.margin["right"],
+                self.height - self.margin["bottom"])
+
+    def x_of(self, fraction: float) -> float:
+        x0, _, x1, _ = self.plot_box
+        return x0 + fraction * (x1 - x0)
+
+    def y_of(self, fraction: float) -> float:
+        _, y0, _, y1 = self.plot_box
+        return y1 - fraction * (y1 - y0)  # SVG y grows downward
+
+    def add(self, fragment: str) -> None:
+        self.parts.append(fragment)
+
+    def axes(self, y_label: str = "", x_label: str = "") -> None:
+        x0, y0, x1, y1 = self.plot_box
+        self.add(f'<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" '
+                 'stroke="#333" stroke-width="1"/>')
+        self.add(f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" '
+                 'stroke="#333" stroke-width="1"/>')
+        if x_label:
+            self.add(f'<text x="{(x0 + x1) / 2:.1f}" y="{self.height - 8}" '
+                     f'text-anchor="middle" font-size="11" '
+                     f'font-family="sans-serif">{_escape(x_label)}</text>')
+        if y_label:
+            cx, cy = 16, (y0 + y1) / 2
+            self.add(f'<text x="{cx}" y="{cy:.1f}" text-anchor="middle" '
+                     f'font-size="11" font-family="sans-serif" '
+                     f'transform="rotate(-90 {cx} {cy:.1f})">'
+                     f'{_escape(y_label)}</text>')
+
+    def y_ticks(self, low: float, high: float, count: int = 5) -> None:
+        x0, _, _, _ = self.plot_box
+        span = high - low if high > low else 1.0
+        for index in range(count + 1):
+            value = low + span * index / count
+            y = self.y_of(index / count)
+            self.add(f'<line x1="{x0 - 4}" y1="{y:.1f}" x2="{x0}" '
+                     f'y2="{y:.1f}" stroke="#333"/>')
+            self.add(f'<text x="{x0 - 8}" y="{y + 4:.1f}" text-anchor="end" '
+                     f'font-size="10" font-family="sans-serif">{value:.3g}'
+                     '</text>')
+
+    def legend(self, labels: Sequence[str]) -> None:
+        _, y0, x1, _ = self.plot_box
+        for index, label in enumerate(labels):
+            color = PALETTE[index % len(PALETTE)]
+            y = y0 + 16 * index
+            self.add(f'<rect x="{x1 + 12}" y="{y:.1f}" width="10" height="10" '
+                     f'fill="{color}"/>')
+            self.add(f'<text x="{x1 + 27}" y="{y + 9:.1f}" font-size="11" '
+                     f'font-family="sans-serif">{_escape(label)}</text>')
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="100%" height="100%" fill="white"/>\n'
+                f"{body}\n</svg>\n")
+
+
+def _maybe_write(svg: str, path: Optional[PathLike]) -> str:
+    if path is not None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(svg)
+    return svg
+
+
+def grouped_bar_chart(groups: Sequence[str], series: Dict[str, Sequence[float]],
+                      title: str = "", y_label: str = "",
+                      width: int = 640, height: int = 360,
+                      path: Optional[PathLike] = None) -> str:
+    """Bar chart with one bar per (group, series) pair (Figs. 4-6 layout).
+
+    ``groups`` label the x axis clusters; ``series`` maps legend name to a
+    value per group.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(groups):
+            raise ValueError(f"series {name!r} length != number of groups")
+    top = max((max(values) for values in series.values()), default=1.0)
+    top = top * 1.1 if top > 0 else 1.0
+
+    canvas = _Canvas(width, height, title)
+    canvas.axes(y_label=y_label)
+    canvas.y_ticks(0.0, top)
+    x0, _, x1, y1 = canvas.plot_box
+    cluster_width = (x1 - x0) / max(len(groups), 1)
+    bar_width = cluster_width * 0.8 / max(len(names), 1)
+    for group_index, group in enumerate(groups):
+        cluster_start = x0 + group_index * cluster_width + 0.1 * cluster_width
+        for series_index, name in enumerate(names):
+            value = series[name][group_index]
+            bar_height = (y1 - canvas.margin["top"]) * (value / top)
+            x = cluster_start + series_index * bar_width
+            color = PALETTE[series_index % len(PALETTE)]
+            canvas.add(f'<rect x="{x:.1f}" y="{y1 - bar_height:.1f}" '
+                       f'width="{bar_width * 0.92:.1f}" '
+                       f'height="{bar_height:.1f}" fill="{color}"/>')
+        label_x = x0 + (group_index + 0.5) * cluster_width
+        canvas.add(f'<text x="{label_x:.1f}" y="{y1 + 16}" '
+                   f'text-anchor="middle" font-size="11" '
+                   f'font-family="sans-serif">{_escape(group)}</text>')
+    canvas.legend(names)
+    return _maybe_write(canvas.render(), path)
+
+
+def line_chart(x_values: Sequence[float], series: Dict[str, Sequence[float]],
+               title: str = "", x_label: str = "", y_label: str = "",
+               width: int = 640, height: int = 360,
+               path: Optional[PathLike] = None) -> str:
+    """Multi-series line chart (Figs. 7-8 layout)."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(f"series {name!r} length != number of x values")
+    all_values = [v for values in series.values() for v in values]
+    low = min(all_values, default=0.0)
+    high = max(all_values, default=1.0)
+    if high <= low:
+        high = low + 1.0
+    pad = 0.05 * (high - low)
+    low, high = low - pad, high + pad
+    x_low = min(x_values)
+    x_high = max(x_values) if max(x_values) > x_low else x_low + 1.0
+
+    canvas = _Canvas(width, height, title)
+    canvas.axes(y_label=y_label, x_label=x_label)
+    canvas.y_ticks(low, high)
+    for series_index, name in enumerate(names):
+        color = PALETTE[series_index % len(PALETTE)]
+        points = []
+        for x, y in zip(x_values, series[name]):
+            fx = (x - x_low) / (x_high - x_low)
+            fy = (y - low) / (high - low)
+            points.append(f"{canvas.x_of(fx):.1f},{canvas.y_of(fy):.1f}")
+        canvas.add(f'<polyline points="{" ".join(points)}" fill="none" '
+                   f'stroke="{color}" stroke-width="2"/>')
+        for point in points:
+            px, py = point.split(",")
+            canvas.add(f'<circle cx="{px}" cy="{py}" r="2.5" fill="{color}"/>')
+    x0, _, x1, y1 = canvas.plot_box
+    for x in (x_low, x_high):
+        fx = (x - x_low) / (x_high - x_low)
+        canvas.add(f'<text x="{canvas.x_of(fx):.1f}" y="{y1 + 16}" '
+                   f'text-anchor="middle" font-size="10" '
+                   f'font-family="sans-serif">{x:g}</text>')
+    canvas.legend(names)
+    return _maybe_write(canvas.render(), path)
+
+
+def scatter_plot(points: Dict[str, Sequence[Tuple[float, float]]],
+                 title: str = "", width: int = 520, height: int = 480,
+                 colors: Optional[Dict[str, Sequence[str]]] = None,
+                 marker_size: float = 4.0,
+                 path: Optional[PathLike] = None) -> str:
+    """Scatter plot of labelled point groups (Fig. 9 / Fig. 10 layout).
+
+    ``colors`` optionally overrides the palette with an explicit colour
+    per point (e.g. memory-attention RGB strings).
+    """
+    all_points = [p for group in points.values() for p in group]
+    if not all_points:
+        raise ValueError("scatter_plot needs at least one point")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_high = x_high if x_high > x_low else x_low + 1.0
+    y_high = y_high if y_high > y_low else y_low + 1.0
+
+    canvas = _Canvas(width, height, title)
+    canvas.axes()
+    for group_index, (name, group) in enumerate(points.items()):
+        default_color = PALETTE[group_index % len(PALETTE)]
+        group_colors = (colors or {}).get(name)
+        for point_index, (x, y) in enumerate(group):
+            fx = (x - x_low) / (x_high - x_low)
+            fy = (y - y_low) / (y_high - y_low)
+            color = (group_colors[point_index]
+                     if group_colors is not None else default_color)
+            canvas.add(f'<circle cx="{canvas.x_of(fx):.1f}" '
+                       f'cy="{canvas.y_of(fy):.1f}" r="{marker_size}" '
+                       f'fill="{color}" fill-opacity="0.8"/>')
+    canvas.legend(list(points))
+    return _maybe_write(canvas.render(), path)
+
+
+def rgb_string(rgb: Sequence[float]) -> str:
+    """Convert an RGB triple in [0, 1] to an SVG colour string."""
+    r, g, b = (max(0, min(255, int(round(255 * float(c))))) for c in rgb)
+    return f"rgb({r},{g},{b})"

@@ -1,0 +1,32 @@
+"""Shared fixtures: a tiny dataset/split/graph reused across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_eval_candidates, leave_one_out, tiny
+from repro.graph import CollaborativeHeteroGraph
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return tiny(seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return leave_one_out(tiny_dataset, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_candidates(tiny_split):
+    return build_eval_candidates(tiny_split, num_negatives=50, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_dataset, tiny_split):
+    return CollaborativeHeteroGraph(tiny_dataset, tiny_split.train_pairs)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

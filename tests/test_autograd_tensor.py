@@ -1,0 +1,170 @@
+"""Tests for the Tensor type and the backward-pass machinery."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled, ops
+
+
+class TestTensorBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.data.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_item_on_vector_raises(self):
+        with pytest.raises(ValueError):
+            Tensor(np.array([1.0, 2.0])).item()
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor(np.zeros(2), requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_detach_shares_data_without_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert t.data[0] == 5.0  # shared payload
+
+    def test_copy_is_independent(self):
+        t = Tensor(np.ones(3))
+        c = t.copy()
+        c.data[0] = 9.0
+        assert t.data[0] == 1.0
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_grad(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = (x * 3.0).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_backward_requires_grad_flag(self):
+        x = Tensor(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_nonscalar_backward_needs_explicit_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 4.0])
+
+    def test_backward_grad_shape_mismatch(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 1.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(4))
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*2 and z = x*3 rejoin: d(sum(y+z))/dx = 5
+        x = Tensor(np.ones(4), requires_grad=True)
+        y = x * 2.0
+        z = x * 3.0
+        total = (y + z).sum()
+        total.backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 5.0))
+
+    def test_reused_node_in_two_ops(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x  # dy/dx = 2x = 4
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_grad_accumulates_over_multiple_backwards(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # iterative topological sort must handle long chains
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_constant_branch_gets_no_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        c = Tensor(np.ones(2))
+        (x * c).sum().backward()
+        assert c.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_tensor_created_under_no_grad_is_plain(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestOperatorOverloads:
+    def test_radd_rsub_rmul_rdiv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        np.testing.assert_allclose((1.0 + x).data, [3.0])
+        np.testing.assert_allclose((5.0 - x).data, [3.0])
+        np.testing.assert_allclose((3.0 * x).data, [6.0])
+        np.testing.assert_allclose((8.0 / x).data, [4.0])
+
+    def test_neg_and_pow(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = (-x) ** 2
+        y.sum().backward()
+        np.testing.assert_allclose(y.data, [9.0])
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_transpose_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem_slicing(self):
+        a = Tensor(np.arange(10.0), requires_grad=True)
+        b = a[2:5]
+        b.sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_method_chaining(self):
+        x = Tensor(np.full((2, 2), 4.0), requires_grad=True)
+        out = x.sqrt().log().exp().sum()
+        np.testing.assert_allclose(out.data, 8.0)

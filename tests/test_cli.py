@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert "ciao-small" in args.presets
+
+    def test_train_validates_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "definitely-not-a-model"])
+
+    def test_experiment_validates_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "# of Users" in out
+
+    def test_train_runs(self, capsys):
+        code = main(["train", "bpr-mf", "--dataset", "tiny", "--epochs", "2",
+                     "--batch-size", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hr@10" in out
+
+    def test_compare_runs(self, capsys):
+        code = main(["compare", "most-popular", "bpr-mf", "--dataset", "tiny",
+                     "--epochs", "2", "--batch-size", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--dataset", "tiny"]) == 0
+        assert "Interaction Density" in capsys.readouterr().out
+
+    def test_experiment_fig4(self, capsys):
+        code = main(["experiment", "fig4", "--dataset", "tiny",
+                     "--epochs", "2", "--batch-size", "128"])
+        assert code == 0
+        assert "module ablation" in capsys.readouterr().out
+
+    def test_experiment_fig10(self, capsys):
+        code = main(["experiment", "fig10", "--dataset", "tiny",
+                     "--epochs", "2", "--batch-size", "128"])
+        assert code == 0
+        assert "memory attention" in capsys.readouterr().out
+
+    def test_experiment_table4(self, capsys):
+        code = main(["experiment", "table4", "--dataset", "tiny",
+                     "--epochs", "2", "--batch-size", "128"])
+        assert code == 0
+        assert "seconds per epoch" in capsys.readouterr().out
+
+    def test_generate_npz(self, tmp_path, capsys):
+        out_path = tmp_path / "ds.npz"
+        assert main(["generate", "tiny", str(out_path)]) == 0
+        assert out_path.exists()
+
+        from repro.data import load_dataset
+
+        dataset = load_dataset(out_path)
+        assert dataset.num_users == 60

@@ -1,0 +1,101 @@
+"""Tests for the public-dump format converters."""
+
+import numpy as np
+import pytest
+
+from repro.data import convert_rating_dump, tiny, write_rating_dump
+
+
+@pytest.fixture()
+def dump_dir(tmp_path):
+    (tmp_path / "ratings.txt").write_text(
+        "# header comment\n"
+        "1 10 5.0 1650000000\n"
+        "1 11 4.0\n"
+        "1 12 2.0\n"          # below threshold -> dropped
+        "2 10 4.5\n"
+        "2 13 5.0\n"
+        "2 11 4.0\n"
+        "3 10 5.0\n"
+        "3 11 5.0\n"
+        "3 13 4.0\n")
+    (tmp_path / "trust.txt").write_text(
+        "1 2\n"
+        "2 3 0.5\n"
+        "1 99\n")              # 99 filtered out (no kept ratings)
+    (tmp_path / "categories.txt").write_text(
+        "10 100\n"
+        "11 100\n"
+        "12 200\n"             # item 12 dropped with its rating
+        "13 200\n")
+    return tmp_path
+
+
+class TestConvertRatingDump:
+    def test_basic_conversion(self, dump_dir):
+        dataset = convert_rating_dump(
+            dump_dir / "ratings.txt", dump_dir / "trust.txt",
+            dump_dir / "categories.txt", positive_threshold=4.0,
+            min_user_interactions=2, name="demo")
+        assert dataset.name == "demo"
+        assert dataset.num_users == 3
+        # items 10, 11, 13 survive (12 was below threshold)
+        assert dataset.num_items == 3
+        assert len(dataset.interactions) == 8
+        assert dataset.num_relations == 2
+
+    def test_threshold_binarization(self, dump_dir):
+        strict = convert_rating_dump(dump_dir / "ratings.txt",
+                                     positive_threshold=5.0,
+                                     min_user_interactions=1)
+        lenient = convert_rating_dump(dump_dir / "ratings.txt",
+                                      positive_threshold=4.0,
+                                      min_user_interactions=1)
+        assert len(strict.interactions) < len(lenient.interactions)
+
+    def test_trust_edges_remapped(self, dump_dir):
+        dataset = convert_rating_dump(
+            dump_dir / "ratings.txt", dump_dir / "trust.txt",
+            positive_threshold=4.0, min_user_interactions=2)
+        # ties (1,2) and (2,3) survive; the tie to dropped user 99 does not
+        assert len(dataset.social_edges) == 2
+        assert dataset.social_edges.max() < dataset.num_users
+
+    def test_activity_filtering(self, dump_dir):
+        dataset = convert_rating_dump(dump_dir / "ratings.txt",
+                                      positive_threshold=4.0,
+                                      min_user_interactions=3)
+        degrees = dataset.user_degrees()
+        assert degrees[degrees > 0].min() >= 3
+
+    def test_no_positive_ratings_raises(self, dump_dir):
+        with pytest.raises(ValueError):
+            convert_rating_dump(dump_dir / "ratings.txt",
+                                positive_threshold=10.0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        (tmp_path / "bad.txt").write_text("1 2 5\nonly-one-column\n")
+        with pytest.raises(ValueError):
+            convert_rating_dump(tmp_path / "bad.txt")
+
+    def test_comma_separated_accepted(self, tmp_path):
+        (tmp_path / "csv.txt").write_text("1,10,5\n1,11,5\n2,10,5\n2,11,4\n")
+        dataset = convert_rating_dump(tmp_path / "csv.txt",
+                                      positive_threshold=4.0,
+                                      min_user_interactions=2)
+        assert dataset.num_users == 2
+
+
+class TestRoundTrip:
+    def test_write_then_convert_preserves_structure(self, tmp_path):
+        original = tiny(seed=0)
+        write_rating_dump(original, tmp_path / "dump")
+        converted = convert_rating_dump(
+            tmp_path / "dump" / "ratings.txt",
+            tmp_path / "dump" / "trust.txt",
+            tmp_path / "dump" / "categories.txt",
+            positive_threshold=4.0, min_user_interactions=1,
+            min_item_interactions=0)
+        assert len(converted.interactions) == len(original.interactions)
+        assert len(converted.social_edges) == len(original.social_edges)
+        assert converted.num_relations == original.num_relations

@@ -1,0 +1,102 @@
+"""Tests for the InteractionDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+
+
+def _make(**overrides):
+    base = dict(
+        num_users=4, num_items=5, num_relations=2,
+        interactions=np.array([[0, 0], [0, 1], [1, 2], [2, 3], [3, 4]]),
+        social_edges=np.array([[0, 1], [2, 3]]),
+        item_relations=np.array([[0, 0], [1, 0], [2, 1], [3, 1], [4, 1]]),
+    )
+    base.update(overrides)
+    return InteractionDataset(**base)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        ds = _make()
+        assert ds.num_users == 4
+
+    def test_rejects_out_of_range_item(self):
+        with pytest.raises(ValueError):
+            _make(interactions=np.array([[0, 99]]))
+
+    def test_rejects_out_of_range_user(self):
+        with pytest.raises(ValueError):
+            _make(social_edges=np.array([[0, 9]]))
+
+    def test_rejects_out_of_range_relation(self):
+        with pytest.raises(ValueError):
+            _make(item_relations=np.array([[0, 5]]))
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            _make(num_users=0)
+
+
+class TestCanonicalization:
+    def test_duplicate_interactions_removed(self):
+        ds = _make(interactions=np.array([[0, 0], [0, 0], [1, 1]]))
+        assert len(ds.interactions) == 2
+
+    def test_social_self_loops_dropped(self):
+        ds = _make(social_edges=np.array([[1, 1], [0, 2]]))
+        assert len(ds.social_edges) == 1
+
+    def test_social_stored_undirected_once(self):
+        ds = _make(social_edges=np.array([[1, 0], [0, 1]]))
+        assert len(ds.social_edges) == 1
+        np.testing.assert_array_equal(ds.social_edges[0], [0, 1])
+
+    def test_empty_social_ok(self):
+        ds = _make(social_edges=np.zeros((0, 2), dtype=np.int64))
+        assert ds.social_matrix().nnz == 0
+
+
+class TestMatrices:
+    def test_interaction_matrix_shape_and_entries(self):
+        ds = _make()
+        matrix = ds.interaction_matrix()
+        assert matrix.shape == (4, 5)
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 0] == 0.0
+
+    def test_interaction_matrix_subset(self):
+        ds = _make()
+        matrix = ds.interaction_matrix(np.array([[0, 0]]))
+        assert matrix.nnz == 1
+
+    def test_social_matrix_symmetric(self):
+        ds = _make()
+        matrix = ds.social_matrix()
+        assert (matrix != matrix.T).nnz == 0
+
+    def test_item_relation_matrix(self):
+        ds = _make()
+        matrix = ds.item_relation_matrix()
+        assert matrix.shape == (5, 2)
+        assert matrix[2, 1] == 1.0
+
+
+class TestAccessors:
+    def test_user_histories(self):
+        ds = _make()
+        histories = ds.user_histories()
+        np.testing.assert_array_equal(sorted(histories[0]), [0, 1])
+        assert len(histories) == 4
+
+    def test_user_degrees(self):
+        ds = _make()
+        np.testing.assert_array_equal(ds.user_degrees(), [2, 1, 1, 1])
+
+    def test_social_degrees(self):
+        ds = _make()
+        np.testing.assert_array_equal(ds.social_degrees(), [1, 1, 1, 1])
+
+    def test_repr_mentions_counts(self):
+        assert "users=4" in repr(_make())

@@ -1,0 +1,82 @@
+"""Tests for dataset persistence and the Table-I statistics."""
+
+import numpy as np
+
+from repro.data import (
+    dataset_statistics,
+    load_dataset,
+    render_statistics_table,
+    save_dataset,
+    tiny,
+)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_identical(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.num_users == tiny_dataset.num_users
+        assert loaded.num_items == tiny_dataset.num_items
+        assert loaded.num_relations == tiny_dataset.num_relations
+        assert loaded.name == tiny_dataset.name
+        np.testing.assert_array_equal(loaded.interactions,
+                                      tiny_dataset.interactions)
+        np.testing.assert_array_equal(loaded.social_edges,
+                                      tiny_dataset.social_edges)
+        np.testing.assert_array_equal(loaded.item_relations,
+                                      tiny_dataset.item_relations)
+
+
+class TestTextRoundTrip:
+    def test_round_trip_identical(self, tiny_dataset, tmp_path):
+        directory = tmp_path / "ds"
+        save_dataset(tiny_dataset, directory)
+        loaded = load_dataset(directory)
+        np.testing.assert_array_equal(loaded.interactions,
+                                      tiny_dataset.interactions)
+        np.testing.assert_array_equal(loaded.social_edges,
+                                      tiny_dataset.social_edges)
+        assert loaded.name == tiny_dataset.name
+
+    def test_empty_social_file_round_trips(self, tmp_path):
+        dataset = tiny(seed=0)
+        object.__setattr__(dataset, "social_edges",
+                           np.zeros((0, 2), dtype=np.int64))
+        directory = tmp_path / "nosocial"
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+        assert len(loaded.social_edges) == 0
+
+    def test_single_edge_file(self, tmp_path):
+        dataset = tiny(seed=0)
+        object.__setattr__(dataset, "social_edges",
+                           np.array([[0, 1]], dtype=np.int64))
+        directory = tmp_path / "oneedge"
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+        assert loaded.social_edges.shape == (1, 2)
+
+
+class TestStatistics:
+    def test_counts_match_dataset(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats["users"] == tiny_dataset.num_users
+        assert stats["interactions"] == len(tiny_dataset.interactions)
+        assert stats["social_ties"] == 2 * len(tiny_dataset.social_edges)
+
+    def test_densities_are_percentages(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        expected = 100.0 * stats["interactions"] / (
+            tiny_dataset.num_users * tiny_dataset.num_items)
+        assert stats["interaction_density_pct"] == expected
+
+    def test_render_contains_all_rows(self, tiny_dataset):
+        table = render_statistics_table([tiny_dataset])
+        for label in ("# of Users", "# of Items", "Interaction Density",
+                      "Social Tie Density"):
+            assert label in table
+
+    def test_render_multiple_datasets(self, tiny_dataset):
+        table = render_statistics_table([tiny_dataset, tiny(seed=1)])
+        assert table.count("tiny") >= 2

@@ -1,0 +1,56 @@
+"""Tests for the extra ranking metrics (MRR, precision, average rank)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import average_rank, mrr, precision_at, ranking_metrics
+
+
+class TestMrr:
+    def test_perfect(self):
+        assert mrr(np.array([0, 0, 0])) == 1.0
+
+    def test_rank_one(self):
+        assert mrr(np.array([1])) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mrr(np.array([])) == 0.0
+
+    def test_monotone_in_rank(self):
+        assert mrr(np.array([2])) > mrr(np.array([5]))
+
+
+class TestPrecision:
+    def test_single_relevant_item_relation_to_hr(self):
+        ranks = np.array([0, 3, 12])
+        assert precision_at(ranks, 10) == pytest.approx((2 / 3) / 10)
+
+    def test_zero_when_all_missed(self):
+        assert precision_at(np.array([50, 60]), 10) == 0.0
+
+
+class TestAverageRank:
+    def test_mean(self):
+        assert average_rank(np.array([0, 10])) == 5.0
+
+    def test_empty(self):
+        assert average_rank(np.array([])) == 0.0
+
+
+class TestExtrasInRankingMetrics:
+    def test_extras_included_on_request(self):
+        scores = np.random.default_rng(0).normal(size=(8, 11))
+        metrics = ranking_metrics(scores, ks=(5,), include_extras=True)
+        assert {"mrr", "precision@5", "avg-rank"} <= set(metrics)
+
+    def test_extras_absent_by_default(self):
+        scores = np.random.default_rng(0).normal(size=(8, 11))
+        metrics = ranking_metrics(scores, ks=(5,))
+        assert "mrr" not in metrics
+
+    def test_consistency_between_metrics(self):
+        scores = np.random.default_rng(1).normal(size=(30, 21))
+        metrics = ranking_metrics(scores, ks=(10,), include_extras=True)
+        assert metrics["precision@10"] == pytest.approx(metrics["hr@10"] / 10)
+        assert 0.0 <= metrics["mrr"] <= 1.0
+        assert 0.0 <= metrics["avg-rank"] <= 20

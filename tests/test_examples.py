@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Full runs take tens of seconds each (they are exercised manually and in
+docs); here we verify each example imports cleanly and exposes a
+``main`` callable, and run the fastest one end to end.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in SCRIPTS}
+        assert {"quickstart", "compare_models", "social_cold_start",
+                "item_knowledge", "memory_inspection",
+                "cold_start_and_pretraining", "paper_report"} <= names
+
+    @pytest.mark.parametrize("path", SCRIPTS, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), \
+            f"{path.name} must expose main()"
+
+    def test_quickstart_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "final metrics" in result.stdout
+        assert "top-5 items" in result.stdout

@@ -1,0 +1,187 @@
+"""Tests for the experiment harness (context, runners, renderers).
+
+Every runner is exercised at miniature scale; shape-level claims about
+the paper's results are covered by the benchmark suite, not here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    default_train_config,
+    run_convergence_comparison,
+    run_efficiency_comparison,
+    run_embedding_visualization,
+    run_hyperparameter_sweep,
+    run_memory_attention_study,
+    run_model,
+    run_module_ablation,
+    run_overall_comparison,
+    run_relation_ablation,
+    run_sparsity_experiment,
+)
+from repro.experiments.ablation import render_relation_ablation_by_n
+from repro.experiments.common import improvement_pct, render_metric_table, seeds_mean
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.build("tiny", seed=0, num_negatives=50)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return default_train_config(epochs=3, batch_size=256, eval_every=1,
+                                patience=None)
+
+
+class TestContext:
+    def test_build_from_preset(self, context):
+        assert context.dataset.name == "tiny"
+        assert context.graph.interaction.nnz == len(context.split.train_pairs)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            ExperimentContext.build("no-such-preset")
+
+    def test_variant_graph_drops_relations(self, context):
+        graph = context.variant_graph(use_social=False)
+        assert graph.social.nnz == 0
+        assert context.graph.social.nnz > 0
+
+    def test_build_from_explicit_dataset(self, tiny_dataset):
+        context = ExperimentContext.build(dataset=tiny_dataset, seed=1,
+                                          num_negatives=30)
+        assert context.candidates.num_candidates == 31
+
+
+class TestRunModel:
+    def test_returns_metrics_and_history(self, context, fast_config):
+        run = run_model("bpr-mf", context, fast_config)
+        assert run.model_name == "bpr-mf"
+        assert "hr@10" in run.metrics
+        assert run.history.epochs_run == 3
+        assert run.model is None  # not kept by default
+
+    def test_keep_model(self, context, fast_config):
+        run = run_model("bpr-mf", context, fast_config, keep_model=True)
+        assert run.model is not None
+
+    def test_most_popular_skips_training(self, context):
+        run = run_model("most-popular", context)
+        assert run.num_parameters == 0
+        assert run.metrics["hr@10"] > 0
+
+
+class TestOverall:
+    def test_grid_and_renderers(self, fast_config):
+        results = run_overall_comparison(
+            datasets=("tiny",), models=("most-popular", "bpr-mf", "dgnn"),
+            train_config=fast_config, embed_dim=8, num_negatives=50)
+        table2 = results.render_table2()
+        table3 = results.render_table3()
+        assert "tiny" in table2 and "dgnn" in table2
+        assert "HR@5" in table3
+        assert results.metric("tiny", "dgnn", "hr@10") is not None
+        assert results.winner("tiny") in ("most-popular", "bpr-mf", "dgnn")
+
+
+class TestAblations:
+    def test_module_ablation_variants(self, context, fast_config):
+        results = run_module_ablation(context, train_config=fast_config,
+                                      embed_dim=8)
+        assert set(results.runs) == {"DGNN", "-M", "-tau", "-LN"}
+        rendered = results.render()
+        assert "module ablation" in rendered
+        assert isinstance(results.full_model_wins(), bool)
+
+    def test_relation_ablation_variants(self, context, fast_config):
+        results = run_relation_ablation(context, train_config=fast_config,
+                                        embed_dim=8)
+        assert set(results.runs) == {"DGNN", "-S", "-T", "-ST"}
+        rendered = render_relation_ablation_by_n(results, ns=(5, 10))
+        assert "hr@5" in rendered and "hr@10" in rendered
+
+
+class TestSparsity:
+    def test_groups_structure(self, context, fast_config):
+        results = run_sparsity_experiment(
+            context, models=("bpr-mf", "dgnn"), train_config=fast_config,
+            num_groups=3, embed_dim=8)
+        assert set(results.groups) == {"interactions", "social"}
+        for per_model in results.groups.values():
+            for groups in per_model.values():
+                assert len(groups) == 3
+                assert sum(g["num_users"] for g in groups) == len(
+                    context.candidates)
+        assert "Fig. 6" in results.render()
+
+
+class TestSweeps:
+    def test_sweep_and_degradation(self, context, fast_config):
+        results = run_hyperparameter_sweep(
+            context, "num_memory_units", values=(2, 4),
+            train_config=fast_config)
+        assert set(results.metrics) == {2, 4}
+        degradation = results.degradation()
+        assert min(degradation.values()) == 0.0
+        assert "sweep of num_memory_units" in results.render()
+
+    def test_embed_dim_sweep_changes_dim(self, context, fast_config):
+        results = run_hyperparameter_sweep(
+            context, "embed_dim", values=(4, 8), train_config=fast_config)
+        assert set(results.metrics) == {4, 8}
+
+    def test_unknown_parameter(self, context):
+        with pytest.raises(KeyError):
+            run_hyperparameter_sweep(context, "nope")
+
+
+class TestEfficiencyAndConvergence:
+    def test_efficiency_runs(self, context):
+        results = run_efficiency_comparison(context, models=("bpr-mf", "dgnn"),
+                                            epochs=2, embed_dim=8)
+        assert set(results.seconds) == {"bpr-mf", "dgnn"}
+        assert "Table IV" in results.render()
+
+    def test_convergence_curves(self, context):
+        results = run_convergence_comparison(context, models=("bpr-mf",),
+                                             epochs=3, embed_dim=8)
+        assert len(results.curves["bpr-mf"]["hr@10"]) == 3
+        assert "Fig. 8" in results.render()
+
+
+class TestCaseStudies:
+    def test_embedding_viz(self, context, fast_config):
+        results = run_embedding_visualization(
+            context, models=("bpr-mf", "dgnn"), num_users=5, items_per_user=4,
+            train_config=fast_config, embed_dim=8, tsne_iterations=50)
+        assert set(results.projections) == {"bpr-mf", "dgnn"}
+        assert results.projections["dgnn"]["users"].shape == (5, 2)
+        assert "separation" in results.render()
+        assert results.best_model() in ("bpr-mf", "dgnn")
+
+    def test_memory_attention_study(self, context, fast_config):
+        results = run_memory_attention_study(context, train_config=fast_config,
+                                             embed_dim=8)
+        assert set(results.coherence) == {"social-bank", "user-bank"}
+        for stats in results.coherence["social-bank"].values():
+            assert set(stats) == {"connected", "random", "gap"}
+        assert "Fig. 10" in results.render()
+
+
+class TestHelpers:
+    def test_improvement_pct(self):
+        assert improvement_pct(0.55, 0.50) == pytest.approx(10.0)
+        assert improvement_pct(0.5, 0.0) == float("inf")
+
+    def test_render_metric_table(self):
+        table = render_metric_table(
+            ["a", "b"], ["m1"], {"a": {"m1": 0.5}, "b": {}}, title="T")
+        assert "T" in table and "0.5000" in table and "-" in table
+
+    def test_seeds_mean(self):
+        merged = seeds_mean([{"hr": 0.4}, {"hr": 0.6}])
+        assert merged["hr"] == pytest.approx(0.5)
+        assert seeds_mean([]) == {}

@@ -1,0 +1,141 @@
+"""Tests for adjacency utilities and the collaborative heterogeneous graph."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    CollaborativeHeteroGraph,
+    add_self_loops,
+    bipartite_norm_adjacency,
+    row_normalize,
+    symmetric_normalize,
+)
+
+
+class TestAdjacencyHelpers:
+    def test_row_normalize_rows_sum_to_one(self):
+        matrix = sp.random(6, 4, density=0.7, random_state=0, format="csr")
+        normalized = row_normalize(matrix)
+        sums = np.asarray(normalized.sum(axis=1)).reshape(-1)
+        nonzero = np.asarray(matrix.sum(axis=1)).reshape(-1) > 0
+        np.testing.assert_allclose(sums[nonzero], 1.0)
+
+    def test_row_normalize_keeps_zero_rows(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        normalized = row_normalize(matrix)
+        np.testing.assert_allclose(normalized.toarray()[0], [0.0, 0.0])
+
+    def test_symmetric_normalize_formula(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        normalized = symmetric_normalize(sp.csr_matrix(dense)).toarray()
+        np.testing.assert_allclose(normalized, dense)  # degree 1 everywhere
+
+    def test_symmetric_normalize_eigenvalue_bound(self):
+        matrix = sp.random(20, 20, density=0.2, random_state=1)
+        matrix = matrix + matrix.T
+        normalized = symmetric_normalize(matrix)
+        eigenvalues = np.linalg.eigvalsh(normalized.toarray())
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    def test_add_self_loops(self):
+        matrix = sp.csr_matrix((3, 3))
+        looped = add_self_loops(matrix, weight=2.0)
+        np.testing.assert_allclose(looped.toarray(), 2.0 * np.eye(3))
+
+    def test_add_self_loops_requires_square(self):
+        with pytest.raises(ValueError):
+            add_self_loops(sp.csr_matrix((2, 3)))
+
+    def test_bipartite_shape_and_symmetry(self):
+        interaction = sp.random(5, 7, density=0.4, random_state=2, format="csr")
+        joint = bipartite_norm_adjacency(interaction)
+        assert joint.shape == (12, 12)
+        assert (abs(joint - joint.T) > 1e-12).nnz == 0
+
+
+class TestHeteroGraph:
+    def test_shapes(self, tiny_graph, tiny_dataset):
+        assert tiny_graph.interaction.shape == (tiny_dataset.num_users,
+                                                tiny_dataset.num_items)
+        assert tiny_graph.social.shape[0] == tiny_dataset.num_users
+        assert tiny_graph.item_relation.shape == (tiny_dataset.num_items,
+                                                  tiny_dataset.num_relations)
+
+    def test_joint_user_normalization(self, tiny_graph):
+        # Eq. 4: social + interaction rows together sum to 1 per active user.
+        total = (np.asarray(tiny_graph.user_social_joint.sum(axis=1)).reshape(-1)
+                 + np.asarray(tiny_graph.user_item_joint.sum(axis=1)).reshape(-1))
+        active = ((tiny_graph.user_degree_social
+                   + tiny_graph.user_degree_interaction) > 0)
+        np.testing.assert_allclose(total[active], 1.0)
+
+    def test_joint_item_normalization(self, tiny_graph):
+        total = (np.asarray(tiny_graph.item_user_joint.sum(axis=1)).reshape(-1)
+                 + np.asarray(tiny_graph.item_relation_joint.sum(axis=1)).reshape(-1))
+        active = ((tiny_graph.item_degree_interaction
+                   + tiny_graph.item_degree_relation) > 0)
+        np.testing.assert_allclose(total[active], 1.0)
+
+    def test_relation_item_mean_rows(self, tiny_graph):
+        sums = np.asarray(tiny_graph.relation_item_mean.sum(axis=1)).reshape(-1)
+        active = tiny_graph.relation_degree > 0
+        np.testing.assert_allclose(sums[active], 1.0)
+
+    def test_use_social_false_empties_social_views(self, tiny_dataset, tiny_split):
+        graph = CollaborativeHeteroGraph(tiny_dataset, tiny_split.train_pairs,
+                                         use_social=False)
+        assert graph.social.nnz == 0
+        assert graph.user_social_joint.nnz == 0
+        assert len(graph.edges("social")) == 0
+
+    def test_use_item_relations_false(self, tiny_dataset, tiny_split):
+        graph = CollaborativeHeteroGraph(tiny_dataset, tiny_split.train_pairs,
+                                         use_item_relations=False)
+        assert graph.item_relation.nnz == 0
+        # joint item normalizer falls back to pure interaction normalization
+        total = np.asarray(graph.item_user_joint.sum(axis=1)).reshape(-1)
+        active = graph.item_degree_interaction > 0
+        np.testing.assert_allclose(total[active], 1.0)
+
+    def test_train_pairs_respected(self, tiny_dataset, tiny_split):
+        graph = CollaborativeHeteroGraph(tiny_dataset, tiny_split.train_pairs)
+        assert graph.interaction.nnz == len(tiny_split.train_pairs)
+
+    def test_metapath_uiu_symmetric_no_diag(self, tiny_graph):
+        matrix = tiny_graph.metapath("uiu")
+        assert (abs(matrix - matrix.T) > 1e-12).nnz == 0
+        assert matrix.diagonal().sum() == 0
+
+    def test_metapath_binarized(self, tiny_graph):
+        matrix = tiny_graph.metapath("iri")
+        assert set(np.unique(matrix.data)) <= {1.0}
+
+    def test_metapath_unknown_raises(self, tiny_graph):
+        with pytest.raises(KeyError):
+            tiny_graph.metapath("xyz")
+
+    def test_edges_orientations(self, tiny_graph, tiny_dataset):
+        ui = tiny_graph.edges("ui")  # item -> user messages
+        assert ui.src.max() < tiny_dataset.num_items
+        assert ui.dst.max() < tiny_dataset.num_users
+        iu = tiny_graph.edges("iu")
+        assert len(ui) == len(iu) == tiny_graph.interaction.nnz
+
+    def test_social_edges_both_directions(self, tiny_graph):
+        edges = tiny_graph.edges("social")
+        assert len(edges) == tiny_graph.social.nnz
+
+    def test_edges_unknown_kind(self, tiny_graph):
+        with pytest.raises(KeyError):
+            tiny_graph.edges("nope")
+
+    def test_num_edges_summary(self, tiny_graph):
+        counts = tiny_graph.num_edges
+        assert counts["interaction"] == tiny_graph.interaction.nnz
+        assert counts["social"] == tiny_graph.social.nnz
+
+    def test_social_neighbors_csr(self, tiny_graph):
+        indptr, indices = tiny_graph.social_neighbors()
+        assert len(indptr) == tiny_graph.num_users + 1
+        assert indptr[-1] == len(indices)

@@ -1,0 +1,123 @@
+"""Tests for neighbourhood sampling and minibatch subgraph training."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.graph.sampling import expand_neighborhood, induced_subgraph
+from repro.models.dgnn import DGNN
+from repro.nn import Adam
+
+
+class TestExpandNeighborhood:
+    def test_contains_seeds(self, tiny_graph):
+        users, items = expand_neighborhood(tiny_graph, np.array([0, 1]),
+                                           np.array([5]), hops=1)
+        assert {0, 1} <= set(users)
+        assert 5 in items
+
+    def test_monotone_in_hops(self, tiny_graph):
+        seeds_u, seeds_i = np.array([0]), np.array([0])
+        u1, i1 = expand_neighborhood(tiny_graph, seeds_u, seeds_i, hops=1)
+        u2, i2 = expand_neighborhood(tiny_graph, seeds_u, seeds_i, hops=2)
+        assert set(u1) <= set(u2)
+        assert set(i1) <= set(i2)
+
+    def test_fanout_caps_growth(self, tiny_graph):
+        seeds_u = np.arange(5)
+        seeds_i = np.arange(5)
+        full_u, full_i = expand_neighborhood(tiny_graph, seeds_u, seeds_i,
+                                             hops=2, fanout=None)
+        capped_u, capped_i = expand_neighborhood(tiny_graph, seeds_u, seeds_i,
+                                                 hops=2, fanout=1, seed=0)
+        assert len(capped_u) <= len(full_u)
+        assert len(capped_i) <= len(full_i)
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        a = expand_neighborhood(tiny_graph, np.array([0]), np.array([1]),
+                                hops=2, fanout=2, seed=7)
+        b = expand_neighborhood(tiny_graph, np.array([0]), np.array([1]),
+                                hops=2, fanout=2, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestInducedSubgraph:
+    def test_counts_and_maps(self, tiny_graph):
+        user_ids = np.array([3, 1, 7])
+        item_ids = np.array([10, 2])
+        sub = induced_subgraph(tiny_graph, user_ids, item_ids)
+        assert sub.graph.num_users == 3
+        assert sub.graph.num_items == 2
+        assert sub.graph.num_relations == tiny_graph.num_relations
+        np.testing.assert_array_equal(sub.user_ids, [1, 3, 7])
+        np.testing.assert_array_equal(sub.local_users(np.array([3, 7])), [1, 2])
+
+    def test_edges_preserved(self, tiny_graph):
+        # take every node: edge counts must match the parent graph
+        sub = induced_subgraph(tiny_graph,
+                               np.arange(tiny_graph.num_users),
+                               np.arange(tiny_graph.num_items))
+        assert sub.graph.interaction.nnz == tiny_graph.interaction.nnz
+        assert sub.graph.social.nnz == tiny_graph.social.nnz
+        assert sub.graph.item_relation.nnz == tiny_graph.item_relation.nnz
+
+    def test_empty_sets_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(tiny_graph, np.array([]), np.array([0]))
+
+    def test_ablation_flags_inherited(self, tiny_dataset, tiny_split):
+        from repro.graph import CollaborativeHeteroGraph
+
+        parent = CollaborativeHeteroGraph(tiny_dataset, tiny_split.train_pairs,
+                                          use_social=False)
+        sub = induced_subgraph(parent, np.arange(10), np.arange(10))
+        assert sub.graph.social.nnz == 0
+
+
+class TestSampledPropagation:
+    def test_full_node_subgraph_matches_propagate(self, tiny_graph):
+        model = DGNN(tiny_graph, embed_dim=8, num_memory_units=2, seed=0)
+        model.eval()
+        sub = induced_subgraph(tiny_graph,
+                               np.arange(tiny_graph.num_users),
+                               np.arange(tiny_graph.num_items))
+        with no_grad():
+            sampled_u, sampled_i = model.propagate_on(sub)
+            full_u, full_i = model.propagate()
+        np.testing.assert_allclose(sampled_u.data, full_u.data, atol=1e-10)
+        np.testing.assert_allclose(sampled_i.data, full_i.data, atol=1e-10)
+
+    def test_sampled_loss_backward_reaches_tables(self, tiny_graph,
+                                                  tiny_split):
+        model = DGNN(tiny_graph, embed_dim=8, num_memory_units=2, seed=0)
+        users = tiny_split.train_pairs[:16, 0]
+        positives = tiny_split.train_pairs[:16, 1]
+        negatives = (positives + 3) % tiny_graph.num_items
+        # hops=0 keeps only the batch nodes themselves in the subgraph
+        loss = model.bpr_loss_sampled(users, positives, negatives, hops=0)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        grad = model.user_embedding.weight.grad
+        assert grad is not None
+        touched = set(np.flatnonzero(np.abs(grad).sum(axis=1) > 0))
+        assert set(users) <= touched
+        # with a 0-hop neighbourhood, untouched users stay gradient-free
+        assert len(touched) < tiny_graph.num_users
+
+    def test_sampled_training_reduces_loss(self, tiny_graph, tiny_split):
+        model = DGNN(tiny_graph, embed_dim=8, num_memory_units=2, seed=0)
+        optimizer = Adam(model.parameters(), lr=0.02)
+        users = tiny_split.train_pairs[:64, 0]
+        positives = tiny_split.train_pairs[:64, 1]
+        negatives = (positives + 11) % tiny_graph.num_items
+        first = last = None
+        for step in range(6):
+            optimizer.zero_grad()
+            loss = model.bpr_loss_sampled(users, positives, negatives,
+                                          l2=0.0, fanout=10, seed=step)
+            loss.backward()
+            optimizer.step()
+            first = loss.item() if first is None else first
+            last = loss.item()
+        assert last < first

@@ -1,0 +1,116 @@
+"""Tests for the memory-augmented relation heterogeneity encoder (Eq. 3)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, gradcheck
+from repro.graph.adjacency import row_normalize
+from repro.models.memory import MemoryBank
+
+
+@pytest.fixture()
+def bank():
+    return MemoryBank(dim=6, num_units=4, rng=np.random.default_rng(0))
+
+
+class TestGates:
+    def test_shape(self, bank):
+        gates = bank.gates(Tensor(np.random.default_rng(1).normal(size=(5, 6))))
+        assert gates.shape == (5, 4)
+
+    def test_leaky_relu_activation(self, bank):
+        # Force a negative pre-activation and verify the 0.2 slope.
+        bank.keys.data[:] = 0.0
+        bank.bias.data[:] = -10.0
+        gates = bank.gates(Tensor(np.zeros((2, 6))))
+        np.testing.assert_allclose(gates.data, -2.0)
+
+    def test_initial_gates_near_one(self, bank):
+        # The documented init opens gates at ~1 for typical inputs.
+        gates = bank.gates(Tensor(np.zeros((3, 6))))
+        np.testing.assert_allclose(gates.data, 1.0)
+
+
+class TestMixtureTransform:
+    def test_matches_naive_loop(self, bank):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(7, 6))
+        gates = rng.normal(size=(7, 4))
+        out = bank.mixture_transform(Tensor(x), Tensor(gates)).data
+        expected = np.zeros_like(x)
+        for n in range(7):
+            mixed = sum(gates[n, m] * bank.transforms.data[m] for m in range(4))
+            expected[n] = x[n] @ mixed
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_gradcheck_through_encoder(self):
+        bank = MemoryBank(dim=3, num_units=2, rng=np.random.default_rng(3))
+        target = Tensor(np.random.default_rng(4).normal(size=(4, 3)),
+                        requires_grad=True)
+        source = Tensor(np.random.default_rng(5).normal(size=(4, 3)),
+                        requires_grad=True)
+
+        def fn(t, s, w1, w2, b):
+            return (bank.encode_target_gated(t, s) ** 2).sum()
+
+        assert gradcheck(fn, [target, source, bank.transforms, bank.keys,
+                              bank.bias])
+
+
+class TestEncodingModes:
+    def test_target_gated_shape(self, bank):
+        targets = Tensor(np.random.default_rng(6).normal(size=(5, 6)))
+        sources = Tensor(np.random.default_rng(7).normal(size=(5, 6)))
+        out = bank.encode_target_gated(targets, sources)
+        assert out.shape == (5, 6)
+
+    def test_source_gated_uses_adjacency(self, bank):
+        adjacency = row_normalize(sp.csr_matrix(np.array([[1.0, 1.0, 0.0],
+                                                          [0.0, 0.0, 1.0]])))
+        targets = Tensor(np.random.default_rng(8).normal(size=(2, 6)))
+        sources = Tensor(np.random.default_rng(9).normal(size=(3, 6)))
+        out = bank.encode_source_gated(targets, sources, adjacency)
+        assert out.shape == (2, 6)
+
+    def test_source_gated_isolated_target_is_zero_gated(self, bank):
+        # A target with no incoming edges gets zero aggregated gates,
+        # hence a zero mixture transform.
+        adjacency = sp.csr_matrix((2, 3))
+        targets = Tensor(np.random.default_rng(10).normal(size=(2, 6)))
+        sources = Tensor(np.random.default_rng(11).normal(size=(3, 6)))
+        out = bank.encode_source_gated(targets, sources, adjacency)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-12)
+
+    def test_encode_self_consistency(self, bank):
+        embeddings = Tensor(np.random.default_rng(12).normal(size=(4, 6)))
+        direct = bank.encode_self(embeddings).data
+        via_parts = bank.mixture_transform(embeddings,
+                                           bank.gates(embeddings)).data
+        np.testing.assert_allclose(direct, via_parts)
+
+    def test_gate_values_numpy_matches_tensor(self, bank):
+        embeddings = np.random.default_rng(13).normal(size=(5, 6))
+        np.testing.assert_allclose(bank.gate_values(embeddings),
+                                   bank.gates(Tensor(embeddings)).data)
+
+
+class TestDisentanglement:
+    def test_different_gates_give_different_transforms(self, bank):
+        x = Tensor(np.random.default_rng(14).normal(size=(1, 6)))
+        gate_a = Tensor(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        gate_b = Tensor(np.array([[0.0, 1.0, 0.0, 0.0]]))
+        out_a = bank.mixture_transform(x, gate_a).data
+        out_b = bank.mixture_transform(x, gate_b).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_unit_gate_selects_single_transform(self, bank):
+        x = np.random.default_rng(15).normal(size=(3, 6))
+        gate = np.zeros((3, 4))
+        gate[:, 2] = 1.0
+        out = bank.mixture_transform(Tensor(x), Tensor(gate)).data
+        np.testing.assert_allclose(out, x @ bank.transforms.data[2], atol=1e-12)
+
+    def test_parameter_count(self, bank):
+        # W1: 4*6*6, W2: 6*4, b: 4
+        assert bank.num_parameters() == 4 * 36 + 24 + 4

@@ -1,0 +1,117 @@
+"""Tests for Linear, Embedding, LayerNorm, Dropout, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Sequential
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = np.arange(6.0).reshape(2, 3)
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_3d_input_flattens_and_restores(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        out = layer(Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 3, 2)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+        params = [x, layer.weight, layer.bias]
+        assert gradcheck(lambda x, w, b: (layer(x) ** 2).sum(), params)
+
+
+class TestEmbedding:
+    def test_lookup_returns_rows(self, rng):
+        table = Embedding(10, 4, rng=rng)
+        out = table(np.array([2, 7]))
+        np.testing.assert_allclose(out.data, table.weight.data[[2, 7]])
+
+    def test_all_is_the_weight(self, rng):
+        table = Embedding(5, 3, rng=rng)
+        assert table.all() is table.weight
+
+    def test_gradient_scatters_to_rows(self, rng):
+        table = Embedding(6, 2, rng=rng)
+        out = table(np.array([1, 1, 3]))
+        out.sum().backward()
+        grad = table.weight.grad
+        np.testing.assert_allclose(grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(grad[3], [1.0, 1.0])
+        np.testing.assert_allclose(grad[0], [0.0, 0.0])
+
+    def test_custom_std(self, rng):
+        table = Embedding(1000, 50, rng=rng, std=0.01)
+        assert abs(table.weight.data.std() - 0.01) < 0.002
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_scale_shift_applied(self):
+        layer = LayerNorm(4)
+        layer.scale.data[:] = 2.0
+        layer.shift.data[:] = 1.0
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=1), 1.0, atol=1e-7)
+
+    def test_gradcheck(self):
+        layer = LayerNorm(5)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 5)), requires_grad=True)
+        weights = Tensor(np.random.default_rng(3).normal(size=(3, 5)))
+        assert gradcheck(
+            lambda x, s, h: (layer(x) * weights).sum(),
+            [x, layer.scale, layer.shift])
+
+    def test_constant_row_does_not_blow_up(self):
+        layer = LayerNorm(4)
+        out = layer(Tensor(np.full((2, 4), 7.0)))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestDropout:
+    def test_training_drops_and_rescales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        assert ((out == 0) | (out == 2.0)).all()
+
+    def test_eval_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert layer(x) is x
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        seq = Sequential([Linear(4, 8, rng=rng), LayerNorm(8),
+                          Linear(8, 2, rng=rng)])
+        out = seq(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(seq) == 3
+
+    def test_registers_parameters(self, rng):
+        seq = Sequential([Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)])
+        assert len(seq.parameters()) == 4

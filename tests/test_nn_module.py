@@ -1,0 +1,120 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter
+
+
+class _Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 2, rng=np.random.default_rng(0))
+        self.layers = ModuleList([Linear(2, 2, rng=np.random.default_rng(1))])
+
+    def forward(self, x):
+        return self.child(x)
+
+
+class TestParameterRegistration:
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_named_parameters_cover_tree(self):
+        net = _Net()
+        names = {name for name, _ in net.named_parameters()}
+        assert "weight" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+        assert "layers.0.weight" in names
+
+    def test_parameters_list_matches_named(self):
+        net = _Net()
+        assert len(net.parameters()) == len(list(net.named_parameters()))
+
+    def test_num_parameters_counts_scalars(self):
+        net = _Net()
+        expected = sum(p.size for p in net.parameters())
+        assert net.num_parameters() == expected
+
+    def test_modules_iterates_descendants(self):
+        net = _Net()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+
+class TestTrainEval:
+    def test_train_eval_toggles_recursively(self):
+        net = _Net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self):
+        net = _Net()
+        x = Tensor(np.ones((3, 2)))
+        net(x).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        net1, net2 = _Net(), _Net()
+        for p in net1.parameters():
+            p.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(),
+                                      net2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = _Net()
+        snapshot = net.state_dict()
+        snapshot["weight"][:] = 99.0
+        assert net.weight.data[0, 0] == 1.0
+
+    def test_missing_key_raises(self):
+        net = _Net()
+        state = net.state_dict()
+        state.pop("weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = _Net()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = _Net()
+        state = net.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_indexing_iteration_len(self):
+        layers = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(layers) == 2
+        assert layers[0] is list(layers)[0]
+
+    def test_append_registers_parameters(self):
+        layers = ModuleList()
+        layers.append(Linear(2, 3))
+        net = Module.__new__(Module)
+        Module.__init__(net)
+        net.layers = layers
+        assert any("layers.0" in name for name, _ in net.named_parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()

@@ -1,0 +1,119 @@
+"""Tests for SGD, Adam and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter, SGD, clip_grad_norm
+from repro.nn.optim import Optimizer
+
+
+def _param(values):
+    p = Parameter(np.asarray(values, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = _param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_weight_decay_adds_l2_gradient(self):
+        p = _param([2.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_skips_params_without_grad(self):
+        p = _param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_moves_by_lr(self):
+        # With bias correction, the first Adam step is ~lr * sign(grad).
+        p = _param([0.0])
+        p.grad = np.array([3.0])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_matches_reference_two_steps(self):
+        p = _param([1.0])
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        # reference implementation
+        theta, m, v = 1.0, 0.0, 0.0
+        for step in (1, 2):
+            grad = theta  # pretend loss = theta^2/2
+            p.grad = np.array([theta if step == 1 else float(p.data[0])])
+            grad = p.grad[0]
+            m = 0.9 * m + 0.1 * grad
+            v = 0.999 * v + 0.001 * grad * grad
+            m_hat = m / (1 - 0.9 ** step)
+            v_hat = v / (1 - 0.999 ** step)
+            theta_expected = float(p.data[0]) - 0.1 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            opt.step()
+            np.testing.assert_allclose(p.data, [theta_expected], rtol=1e-10)
+
+    def test_weight_decay(self):
+        p = _param([10.0])
+        p.grad = np.array([0.0])
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 10.0
+
+    def test_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        p1, p2 = _param([0.0]), _param([0.0])
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        total = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert total == pytest.approx(5.0)
+        clipped = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert clipped == pytest.approx(1.0)
+
+    def test_no_clip_when_below(self):
+        p = _param([0.0])
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_ignores_gradless_params(self):
+        p = _param([0.0])
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestOptimizerBase:
+    def test_step_not_implemented(self):
+        p = _param([0.0])
+        with pytest.raises(NotImplementedError):
+            Optimizer([p], lr=0.1).step()

@@ -1,0 +1,98 @@
+"""Tests for the self-supervised pre-training extension."""
+
+import numpy as np
+import pytest
+
+from repro.models import BprMF, DGNN
+from repro.train.pretrain import PretrainConfig, apply_pretrained, pretrain_embeddings
+
+
+class TestPretrainConfig:
+    def test_defaults(self):
+        config = PretrainConfig()
+        assert config.epochs > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(epochs=-1)
+        with pytest.raises(ValueError):
+            PretrainConfig(batch_size=0)
+
+
+class TestPretrainEmbeddings:
+    def test_shapes(self, tiny_graph):
+        user_table, item_table = pretrain_embeddings(
+            tiny_graph, embed_dim=8, config=PretrainConfig(epochs=3))
+        assert user_table.shape == (tiny_graph.num_users, 8)
+        assert item_table.shape == (tiny_graph.num_items, 8)
+        assert np.all(np.isfinite(user_table))
+
+    def test_deterministic(self, tiny_graph):
+        config = PretrainConfig(epochs=3, seed=5)
+        a = pretrain_embeddings(tiny_graph, embed_dim=8, config=config)
+        b = pretrain_embeddings(tiny_graph, embed_dim=8, config=config)
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_social_proximity_learned(self, tiny_graph):
+        user_table, _ = pretrain_embeddings(
+            tiny_graph, embed_dim=16, config=PretrainConfig(epochs=40))
+        edges = tiny_graph.edges("social")
+        rng = np.random.default_rng(0)
+        tie_scores = np.sum(user_table[edges.dst] * user_table[edges.src],
+                            axis=1).mean()
+        randoms = rng.integers(0, tiny_graph.num_users, size=(len(edges), 2))
+        random_scores = np.sum(user_table[randoms[:, 0]]
+                               * user_table[randoms[:, 1]], axis=1).mean()
+        assert tie_scores > random_scores
+
+    def test_category_proximity_learned(self, tiny_graph):
+        _, item_table = pretrain_embeddings(
+            tiny_graph, embed_dim=16, config=PretrainConfig(epochs=40))
+        matrix = tiny_graph.item_relation.tocsc()
+        rng = np.random.default_rng(1)
+        same, diff = [], []
+        for _ in range(300):
+            relation = rng.integers(0, tiny_graph.num_relations)
+            members = matrix[:, relation].indices
+            if len(members) < 2:
+                continue
+            a, b = rng.choice(members, size=2, replace=False)
+            c = rng.integers(0, tiny_graph.num_items)
+            same.append(item_table[a] @ item_table[b])
+            diff.append(item_table[a] @ item_table[c])
+        assert np.mean(same) > np.mean(diff)
+
+    def test_zero_epochs_returns_init(self, tiny_graph):
+        user_table, _ = pretrain_embeddings(
+            tiny_graph, embed_dim=8, config=PretrainConfig(epochs=0))
+        assert np.all(np.isfinite(user_table))
+
+
+class TestApplyPretrained:
+    def test_copies_into_model(self, tiny_graph):
+        user_table, item_table = pretrain_embeddings(
+            tiny_graph, embed_dim=8, config=PretrainConfig(epochs=2))
+        model = DGNN(tiny_graph, embed_dim=8, num_memory_units=2, seed=0)
+        apply_pretrained(model, user_table, item_table)
+        np.testing.assert_allclose(model.user_embedding.weight.data, user_table)
+        np.testing.assert_allclose(model.item_embedding.weight.data, item_table)
+
+    def test_works_for_mf(self, tiny_graph):
+        user_table, item_table = pretrain_embeddings(
+            tiny_graph, embed_dim=8, config=PretrainConfig(epochs=2))
+        model = BprMF(tiny_graph, embed_dim=8, seed=0)
+        apply_pretrained(model, user_table, item_table)
+        np.testing.assert_allclose(model.user_embedding.weight.data, user_table)
+
+    def test_shape_mismatch_rejected(self, tiny_graph):
+        model = DGNN(tiny_graph, embed_dim=8, seed=0)
+        with pytest.raises(ValueError):
+            apply_pretrained(model, np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_missing_attribute_rejected(self, tiny_graph):
+        class Bare:
+            pass
+
+        with pytest.raises(AttributeError):
+            apply_pretrained(Bare(), np.zeros((2, 2)), np.zeros((2, 2)))

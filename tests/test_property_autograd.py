@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, gradcheck, ops
+
+small_dims = st.integers(1, 5)
+
+
+def _tensor(draw, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(small_dims, small_dims, st.integers(0, 10_000))
+    def test_add_commutes(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(rows, cols)))
+        b = Tensor(rng.normal(size=(rows, cols)))
+        np.testing.assert_allclose(ops.add(a, b).data, ops.add(b, a).data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dims, small_dims, small_dims, st.integers(0, 10_000))
+    def test_matmul_associates_with_scalar(self, n, m, k, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(n, m)))
+        b = Tensor(rng.normal(size=(m, k)))
+        left = ops.matmul(ops.mul(a, 2.0), b).data
+        right = ops.mul(ops.matmul(a, b), 2.0).data
+        np.testing.assert_allclose(left, right, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dims, small_dims, st.integers(0, 10_000))
+    def test_exp_log_roundtrip(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(np.abs(rng.normal(size=(rows, cols))) + 0.1)
+        np.testing.assert_allclose(ops.exp(ops.log(a)).data, a.data,
+                                   rtol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dims, small_dims, st.integers(0, 10_000))
+    def test_sigmoid_symmetry(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(rows, cols)))
+        np.testing.assert_allclose(
+            ops.sigmoid(x).data + ops.sigmoid(ops.neg(x)).data, 1.0,
+            atol=1e-12)
+
+
+class TestGradientProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(small_dims, small_dims, st.integers(0, 10_000))
+    def test_random_composition_gradchecks(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        w = Tensor(rng.normal(size=(cols, cols)), requires_grad=True)
+
+        def fn(x, w):
+            hidden = ops.tanh(ops.matmul(x, w))
+            return ops.mean(ops.mul(hidden, hidden))
+
+        assert gradcheck(fn, [x, w])
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(2, 6), st.integers(1, 4), st.integers(0, 10_000))
+    def test_gather_scatter_inverse_gradient(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        index = rng.integers(0, rows, size=rows + 2)
+        out = ops.gather_rows(x, index)
+        out.sum().backward()
+        expected = np.zeros((rows, cols))
+        np.add.at(expected, index, np.ones((rows + 2, cols)))
+        np.testing.assert_allclose(x.grad, expected)
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_dims, small_dims, st.integers(0, 10_000))
+    def test_linearity_of_backward(self, rows, cols, seed):
+        # grad(a*f) == a * grad(f)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(rows, cols))
+        x1 = Tensor(values.copy(), requires_grad=True)
+        x2 = Tensor(values.copy(), requires_grad=True)
+        ops.sum(ops.mul(ops.tanh(x1), 1.0)).backward()
+        ops.sum(ops.mul(ops.tanh(x2), 3.0)).backward()
+        np.testing.assert_allclose(3.0 * x1.grad, x2.grad, atol=1e-10)
+
+
+class TestSegmentProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 5), st.integers(0, 10_000))
+    def test_segment_sum_equals_total(self, edges, segments, seed):
+        rng = np.random.default_rng(seed)
+        values = Tensor(rng.normal(size=(edges, 3)))
+        ids = rng.integers(0, segments, size=edges)
+        out = ops.segment_sum(values, ids, segments)
+        np.testing.assert_allclose(out.data.sum(axis=0),
+                                   values.data.sum(axis=0), atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 30), st.integers(1, 6), st.integers(0, 10_000))
+    def test_segment_softmax_partition_of_unity(self, edges, segments, seed):
+        rng = np.random.default_rng(seed)
+        scores = Tensor(rng.normal(size=edges) * 10.0)
+        ids = rng.integers(0, segments, size=edges)
+        out = ops.segment_softmax(scores, ids, segments)
+        sums = np.zeros(segments)
+        np.add.at(sums, ids, out.data)
+        occupied = np.bincount(ids, minlength=segments) > 0
+        np.testing.assert_allclose(sums[occupied], 1.0, atol=1e-9)
+        assert np.all(out.data >= 0)

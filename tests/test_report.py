@@ -1,0 +1,110 @@
+"""Tests for the markdown + SVG report builder."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    default_train_config,
+    run_convergence_comparison,
+    run_efficiency_comparison,
+    run_embedding_visualization,
+    run_hyperparameter_sweep,
+    run_memory_attention_study,
+    run_module_ablation,
+    run_overall_comparison,
+    run_sparsity_experiment,
+)
+from repro.experiments.report import ReportBuilder
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.build("tiny", seed=0, num_negatives=50)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return default_train_config(epochs=2, batch_size=256, eval_every=1,
+                                patience=None)
+
+
+class TestReportBuilder:
+    def test_text_sections_written(self, tmp_path):
+        builder = ReportBuilder(tmp_path, title="Demo")
+        builder.add_text("Numbers", "1 2 3")
+        index = builder.write()
+        content = index.read_text()
+        assert "# Demo" in content
+        assert "## Numbers" in content
+        assert "1 2 3" in content
+
+    def test_overall_section(self, tmp_path, context, fast_config):
+        results = run_overall_comparison(datasets=("tiny",),
+                                         models=("most-popular", "bpr-mf"),
+                                         train_config=fast_config,
+                                         embed_dim=8, num_negatives=50)
+        builder = ReportBuilder(tmp_path)
+        builder.add_overall(results)
+        content = builder.write().read_text()
+        assert "Table II" in content and "Table III" in content
+
+    def test_ablation_chart_written(self, tmp_path, context, fast_config):
+        results = run_module_ablation(context, train_config=fast_config,
+                                      embed_dim=8)
+        builder = ReportBuilder(tmp_path)
+        builder.add_ablation(results, "fig4")
+        builder.write()
+        assert (tmp_path / "fig4.svg").exists()
+        assert "<svg" in (tmp_path / "fig4.svg").read_text()
+
+    def test_sparsity_charts(self, tmp_path, context, fast_config):
+        results = run_sparsity_experiment(context, models=("bpr-mf",),
+                                          train_config=fast_config,
+                                          num_groups=2, embed_dim=8)
+        builder = ReportBuilder(tmp_path)
+        builder.add_sparsity(results)
+        builder.write()
+        assert (tmp_path / "fig6_interactions.svg").exists()
+        assert (tmp_path / "fig6_social.svg").exists()
+
+    def test_sweep_chart(self, tmp_path, context, fast_config):
+        results = run_hyperparameter_sweep(context, "num_memory_units",
+                                           values=(2, 4),
+                                           train_config=fast_config)
+        builder = ReportBuilder(tmp_path)
+        builder.add_sweep(results, "fig7")
+        builder.write()
+        assert (tmp_path / "fig7_num_memory_units.svg").exists()
+
+    def test_convergence_chart(self, tmp_path, context):
+        results = run_convergence_comparison(context, models=("bpr-mf",),
+                                             epochs=2, embed_dim=8)
+        builder = ReportBuilder(tmp_path)
+        builder.add_convergence(results)
+        builder.write()
+        assert (tmp_path / "fig8.svg").exists()
+
+    def test_efficiency_section(self, tmp_path, context):
+        results = run_efficiency_comparison(context, models=("bpr-mf",),
+                                            epochs=1, embed_dim=8)
+        builder = ReportBuilder(tmp_path)
+        builder.add_efficiency(results)
+        content = builder.write().read_text()
+        assert "running time" in content
+
+    def test_embedding_viz_charts(self, tmp_path, context, fast_config):
+        results = run_embedding_visualization(
+            context, models=("bpr-mf",), num_users=5, items_per_user=4,
+            train_config=fast_config, embed_dim=8, tsne_iterations=30)
+        builder = ReportBuilder(tmp_path)
+        builder.add_embedding_viz(results)
+        builder.write()
+        assert (tmp_path / "fig9_bpr-mf.svg").exists()
+
+    def test_memory_viz_section(self, tmp_path, context, fast_config):
+        results = run_memory_attention_study(context, train_config=fast_config,
+                                             embed_dim=8)
+        builder = ReportBuilder(tmp_path)
+        builder.add_memory_viz(results)
+        content = builder.write().read_text()
+        assert "memory attention" in content

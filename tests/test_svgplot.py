@@ -1,0 +1,92 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.viz.svgplot import (
+    PALETTE,
+    grouped_bar_chart,
+    line_chart,
+    rgb_string,
+    scatter_plot,
+)
+
+
+class TestGroupedBarChart:
+    def test_valid_svg_structure(self):
+        svg = grouped_bar_chart(["a", "b"], {"m1": [0.4, 0.5], "m2": [0.3, 0.2]},
+                                title="T", y_label="HR@10")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "T" in svg and "HR@10" in svg
+
+    def test_one_rect_per_bar(self):
+        svg = grouped_bar_chart(["a", "b", "c"], {"m": [1, 2, 3], "n": [3, 2, 1]})
+        # background rect + 6 bars + 2 legend swatches
+        assert svg.count("<rect") == 1 + 6 + 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"m": [1.0]})
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        grouped_bar_chart(["a"], {"m": [0.5]}, path=path)
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_escapes_labels(self):
+        svg = grouped_bar_chart(["<evil>"], {"a&b": [1.0]})
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+
+class TestLineChart:
+    def test_polyline_per_series(self):
+        svg = line_chart([1, 2, 3], {"x": [0.1, 0.2, 0.3], "y": [0.3, 0.2, 0.1]})
+        assert svg.count("<polyline") == 2
+
+    def test_markers_per_point(self):
+        svg = line_chart([1, 2], {"only": [0.5, 0.6]})
+        assert svg.count("<circle") == 2
+
+    def test_constant_series_handled(self):
+        svg = line_chart([0, 1], {"flat": [0.5, 0.5]})
+        assert "NaN" not in svg and "inf" not in svg
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2, 3], {"m": [1.0, 2.0]})
+
+
+class TestScatterPlot:
+    def test_circle_per_point(self):
+        svg = scatter_plot({"users": [(0, 0), (1, 1)], "items": [(2, 2)]})
+        assert svg.count("<circle") == 3
+
+    def test_custom_colors_used(self):
+        svg = scatter_plot({"g": [(0, 0), (1, 1)]},
+                           colors={"g": ["rgb(1,2,3)", "rgb(4,5,6)"]})
+        assert "rgb(1,2,3)" in svg and "rgb(4,5,6)" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot({"g": []})
+
+    def test_degenerate_extent_handled(self):
+        svg = scatter_plot({"g": [(1.0, 1.0), (1.0, 1.0)]})
+        assert "NaN" not in svg
+
+
+class TestHelpers:
+    def test_rgb_string_clamps(self):
+        assert rgb_string([0.0, 0.5, 1.0]) == "rgb(0,128,255)"
+        assert rgb_string([-1.0, 2.0, 0.5]) == "rgb(0,255,128)"
+
+    def test_palette_is_distinct(self):
+        assert len(set(PALETTE)) == len(PALETTE)
+
+    def test_numpy_input_accepted(self):
+        svg = line_chart(np.array([1.0, 2.0]),
+                         {"m": np.array([0.1, 0.9])})
+        assert "<polyline" in svg

@@ -1,0 +1,133 @@
+"""Tests for the trainer, config and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_eval_candidates
+from repro.models import BprMF, create_model
+from repro.train import EarlyStopping, TrainConfig, Trainer
+from repro.train.config import PaperHyperparameters
+
+
+class TestTrainConfig:
+    def test_defaults_match_paper(self):
+        config = TrainConfig()
+        assert config.learning_rate == 0.01
+        assert 512 <= config.batch_size <= 4096
+
+    @pytest.mark.parametrize("kwargs", [
+        {"epochs": 0}, {"batch_size": 0}, {"learning_rate": 0.0},
+        {"eval_every": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainConfig(**kwargs)
+
+    def test_paper_hyperparameters_grid(self):
+        hp = PaperHyperparameters()
+        assert hp.embed_dim == 16
+        assert hp.num_memory_units == 8
+        assert 2 in hp.memory_grid and 16 in hp.memory_grid
+
+
+class TestEarlyStopping:
+    def test_tracks_best_and_stops(self, tiny_graph):
+        model = BprMF(tiny_graph, embed_dim=4, seed=0)
+        stopper = EarlyStopping(metric="hr@10", patience=2)
+        assert not stopper.update({"hr@10": 0.3}, model, epoch=0)
+        assert not stopper.update({"hr@10": 0.2}, model, epoch=1)
+        assert stopper.update({"hr@10": 0.1}, model, epoch=2)
+        assert stopper.best_epoch == 0
+        assert stopper.best_value == 0.3
+
+    def test_restore_best(self, tiny_graph):
+        model = BprMF(tiny_graph, embed_dim=4, seed=0)
+        stopper = EarlyStopping(metric="hr@10", patience=None)
+        stopper.update({"hr@10": 0.5}, model, epoch=0)
+        snapshot = model.user_embedding.weight.data.copy()
+        model.user_embedding.weight.data += 10.0
+        stopper.restore_best(model)
+        np.testing.assert_allclose(model.user_embedding.weight.data, snapshot)
+
+    def test_patience_none_never_stops(self, tiny_graph):
+        model = BprMF(tiny_graph, embed_dim=4, seed=0)
+        stopper = EarlyStopping(patience=None)
+        for epoch in range(20):
+            assert not stopper.update({"hr@10": 0.0}, model, epoch=epoch)
+
+    def test_minimize_mode(self, tiny_graph):
+        model = BprMF(tiny_graph, embed_dim=4, seed=0)
+        stopper = EarlyStopping(metric="loss", patience=1, minimize=True)
+        stopper.update({"loss": 1.0}, model, epoch=0)
+        assert stopper.update({"loss": 2.0}, model, epoch=1)
+        assert stopper.best_value == 1.0
+
+
+class TestTrainer:
+    def test_history_lengths(self, tiny_graph, tiny_split, tiny_candidates):
+        model = BprMF(tiny_graph, embed_dim=8, seed=0)
+        config = TrainConfig(epochs=4, batch_size=64, eval_every=2,
+                             patience=None)
+        history = Trainer(model, tiny_split, config, tiny_candidates).fit()
+        assert history.epochs_run == 4
+        assert len(history.train_seconds) == 4
+        assert history.eval_epochs == [1, 3]
+        assert len(history.metrics) == 2
+
+    def test_training_learns_to_rank_training_pairs(self, tiny_graph,
+                                                    tiny_split, tiny_candidates):
+        # Deterministic training contract: after fitting, observed training
+        # pairs must outscore random items by a clear margin (generalization
+        # quality is exercised by the experiment-level tests).
+        model = BprMF(tiny_graph, embed_dim=16, seed=0)
+        users = tiny_split.train_pairs[:, 0]
+        positives = tiny_split.train_pairs[:, 1]
+        rng = np.random.default_rng(1)
+        randoms = rng.integers(0, tiny_graph.num_items, size=len(users))
+        margin_before = (model.score_pairs(users, positives)
+                         - model.score_pairs(users, randoms)).mean()
+        config = TrainConfig(epochs=30, batch_size=128, patience=None)
+        Trainer(model, tiny_split, config, tiny_candidates).fit()
+        margin_after = (model.score_pairs(users, positives)
+                        - model.score_pairs(users, randoms)).mean()
+        assert margin_after > margin_before
+        assert margin_after > 0.5
+
+    def test_loss_decreases(self, tiny_graph, tiny_split, tiny_candidates):
+        model = BprMF(tiny_graph, embed_dim=8, seed=0)
+        config = TrainConfig(epochs=10, batch_size=128, patience=None)
+        history = Trainer(model, tiny_split, config, tiny_candidates).fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_early_stopping_restores_best(self, tiny_graph, tiny_split,
+                                          tiny_candidates):
+        from repro.eval import evaluate_model
+
+        model = create_model("dgnn", tiny_graph, embed_dim=8, seed=0,
+                             num_memory_units=2)
+        config = TrainConfig(epochs=12, batch_size=128, eval_every=1, patience=3)
+        history = Trainer(model, tiny_split, config, tiny_candidates).fit()
+        final = evaluate_model(model, tiny_candidates)
+        assert final["hr@10"] == pytest.approx(history.best_metrics["hr@10"])
+
+    def test_metric_curve(self, tiny_graph, tiny_split, tiny_candidates):
+        model = BprMF(tiny_graph, embed_dim=8, seed=0)
+        config = TrainConfig(epochs=3, batch_size=64, eval_every=1, patience=None)
+        history = Trainer(model, tiny_split, config, tiny_candidates).fit()
+        curve = history.metric_curve("hr@10")
+        assert len(curve) == 3
+        assert all(0.0 <= value <= 1.0 for value in curve)
+
+    def test_default_candidates_built(self, tiny_graph, tiny_split):
+        model = BprMF(tiny_graph, embed_dim=4, seed=0)
+        config = TrainConfig(epochs=1, batch_size=64, patience=None)
+        trainer = Trainer(model, tiny_split, config)
+        assert trainer.candidates is not None
+        assert len(trainer.candidates) == tiny_split.num_test_users
+
+    def test_timings_recorded(self, tiny_graph, tiny_split, tiny_candidates):
+        model = BprMF(tiny_graph, embed_dim=4, seed=0)
+        config = TrainConfig(epochs=2, batch_size=64, patience=None)
+        history = Trainer(model, tiny_split, config, tiny_candidates).fit()
+        assert history.mean_train_seconds() > 0
+        assert history.mean_eval_seconds() > 0

@@ -1,0 +1,116 @@
+"""Tests for t-SNE, attention analysis and separation scores."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    attention_to_rgb,
+    cluster_separation_score,
+    pairwise_attention_similarity,
+    subgraph_attention_coherence,
+    tsne,
+    user_item_affinity_score,
+)
+
+
+def _two_blobs(n_per=20, gap=10.0, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 1.0, size=(n_per, dim))
+    b = rng.normal(gap, 1.0, size=(n_per, dim))
+    points = np.concatenate([a, b])
+    labels = np.array([0] * n_per + [1] * n_per)
+    return points, labels
+
+
+class TestTsne:
+    def test_output_shape_and_centering(self):
+        points, _ = _two_blobs()
+        out = tsne(points, num_iterations=60, seed=0)
+        assert out.shape == (40, 2)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_separated_blobs_stay_separated(self):
+        points, labels = _two_blobs(gap=20.0)
+        out = tsne(points, num_iterations=250, seed=0)
+        assert cluster_separation_score(out, labels) > 0.3
+
+    def test_deterministic(self):
+        points, _ = _two_blobs()
+        a = tsne(points, num_iterations=50, seed=1)
+        b = tsne(points, num_iterations=50, seed=1)
+        np.testing.assert_allclose(a, b)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_output_finite(self):
+        points, _ = _two_blobs(seed=3)
+        out = tsne(points, num_iterations=100, seed=2)
+        assert np.all(np.isfinite(out))
+
+
+class TestAttentionViz:
+    def test_rgb_range_and_shape(self):
+        attention = np.random.default_rng(0).normal(size=(30, 8))
+        rgb = attention_to_rgb(attention)
+        assert rgb.shape == (30, 3)
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0
+
+    def test_similar_attention_similar_color(self):
+        base = np.random.default_rng(1).normal(size=8)
+        attention = np.stack([base, base + 1e-6,
+                              -base, np.random.default_rng(2).normal(size=8)])
+        rgb = attention_to_rgb(attention)
+        assert np.linalg.norm(rgb[0] - rgb[1]) < 0.01
+
+    def test_pairwise_similarity_identical_vectors(self):
+        attention = np.tile(np.array([1.0, 2.0, 3.0]), (4, 1))
+        pairs = np.array([[0, 1], [2, 3]])
+        assert pairwise_attention_similarity(attention, pairs) == pytest.approx(1.0)
+
+    def test_pairwise_similarity_empty_pairs(self):
+        assert pairwise_attention_similarity(np.ones((3, 2)),
+                                             np.zeros((0, 2))) == 0.0
+
+    def test_coherence_gap_positive_for_structured_attention(self):
+        # Two attention clusters; pairs only within clusters.
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 0.1, size=(25, 6)) + np.array([1, 0, 0, 0, 0, 0])
+        b = rng.normal(0, 0.1, size=(25, 6)) + np.array([0, 1, 0, 0, 0, 0])
+        attention = np.concatenate([a, b])
+        pairs = np.array([[i, i + 1] for i in range(0, 24, 2)]
+                         + [[25 + i, 26 + i] for i in range(0, 24, 2)])
+        stats = subgraph_attention_coherence(attention, pairs, seed=0)
+        assert stats["gap"] > 0.1
+        assert stats["connected"] > stats["random"]
+
+
+class TestSeparationScores:
+    def test_well_separated_high_score(self):
+        points, labels = _two_blobs(gap=50.0)
+        assert cluster_separation_score(points, labels) > 0.8
+
+    def test_mixed_labels_low_score(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(40, 4))
+        labels = rng.integers(0, 2, size=40)
+        assert cluster_separation_score(points, labels) < 0.2
+
+    def test_single_label_raises(self):
+        with pytest.raises(ValueError):
+            cluster_separation_score(np.zeros((5, 2)), np.zeros(5))
+
+    def test_affinity_positive_when_items_near_owner(self):
+        rng = np.random.default_rng(5)
+        users = rng.normal(size=(6, 2)) * 20.0
+        ownership = np.repeat(np.arange(6), 4)
+        items = users[ownership] + rng.normal(0, 0.1, size=(24, 2))
+        assert user_item_affinity_score(users, items, ownership) > 1.0
+
+    def test_affinity_near_zero_for_random_items(self):
+        rng = np.random.default_rng(6)
+        users = rng.normal(size=(6, 2))
+        ownership = np.repeat(np.arange(6), 10)
+        items = rng.normal(size=(60, 2))
+        assert abs(user_item_affinity_score(users, items, ownership)) < 0.6
