@@ -1,0 +1,39 @@
+"""Engine benchmark: epochs/sec of the naive vs fast kernel backends.
+
+Runs DGNN training on the ``medium`` synthetic profile under both
+backends and publishes the throughput table plus ``BENCH_engine.json``
+at the repository root.  Scale follows ``REPRO_BENCH_MODE`` like every
+other benchmark (smoke → tiny dataset, single short epoch).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from conftest import MODE, publish
+
+from repro.experiments.engine_bench import run_engine_throughput
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_SCALES = {
+    "smoke": dict(preset="tiny", epochs=1, batches_per_epoch=2,
+                  batch_size=128, embed_dim=8, num_layers=1),
+    "quick": dict(preset="medium", epochs=2, batches_per_epoch=4,
+                  batch_size=512, embed_dim=16, num_layers=2),
+    "full": dict(preset="medium", epochs=3, batches_per_epoch=8,
+                 batch_size=512, embed_dim=16, num_layers=2),
+}
+
+
+@pytest.mark.engine_throughput
+def test_engine_throughput():
+    scale = _SCALES.get(MODE, _SCALES["quick"])
+    results = run_engine_throughput(
+        output_path=REPO_ROOT / "BENCH_engine.json", **scale)
+    publish("bench_engine", results.render())
+
+    assert set(results.backends) == {"naive", "fast"}
+    # The vectorized backend must beat the Python-loop oracle at any
+    # scale where kernel work is non-trivial.
+    assert results.speedup > 1.0

@@ -11,10 +11,16 @@ The op set is grouped as:
 * linear algebra — ``matmul`` (2-D), ``spmm`` (scipy.sparse constant @ dense)
 * shape — ``reshape``, ``transpose``, ``cat``, ``stack``, ``getitem``
 * reductions — ``sum``, ``mean``
-* indexing / graph — ``gather_rows``, ``segment_sum``, ``segment_softmax``
+* indexing / graph — ``gather_rows``, ``gathered_rowwise_dot``,
+  ``segment_sum``, ``segment_softmax``
 * nonlinearities — ``exp``, ``log``, ``sqrt``, ``relu``, ``leaky_relu``,
   ``sigmoid``, ``tanh``, ``softplus``, ``log_sigmoid``, ``softmax``,
   ``maximum``, ``where``
+
+The sparse/graph kernels (``spmm``, ``gathered_rowwise_dot``,
+``segment_sum``) dispatch through the active
+:mod:`repro.engine.backends` kernel backend, so a single switch selects
+the vectorized or the reference implementation for every model.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.engine.adjcache import cached_transpose
+from repro.engine.backends import get_backend
 
 Axis = Union[None, int, Tuple[int, ...]]
 
@@ -187,12 +195,14 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
     if not sp.issparse(matrix):
         raise TypeError("spmm expects a scipy.sparse matrix as the first operand")
     matrix = matrix.tocsr()
-    data = matrix @ dense.data
-    matrix_t = matrix.T.tocsr()
+    data = get_backend().spmm(matrix, dense.data)
 
     def factory(out: Tensor):
         def backward():
-            dense._accumulate(matrix_t @ out.grad)
+            # The CSR transpose is memoized per matrix (the seed rebuilt
+            # it on every forward call).
+            dense._accumulate(get_backend().spmm(cached_transpose(matrix),
+                                                 out.grad))
 
         return backward
 
@@ -301,6 +311,41 @@ def gather_rows(a, indices) -> Tensor:
     return getitem(a, indices)
 
 
+def gathered_rowwise_dot(a, b, a_indices, b_indices) -> Tensor:
+    """Fused ``sum(a[a_indices] * b[b_indices], axis=1)`` — BPR scoring.
+
+    ``a`` and ``b`` are 2-D embedding tables; the index arrays are equal
+    length.  Equivalent to gather → elementwise multiply → row sum, but
+    dispatched as one backend kernel, so no gathered ``(batch, d)``
+    copies are materialized in the graph.  Passing the same table (and
+    indices) for both sides yields per-row squared norms — the batch L2
+    regularizer.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("gathered_rowwise_dot expects 2-D embedding tables")
+    a_indices = np.asarray(a_indices, dtype=np.int64)
+    b_indices = np.asarray(b_indices, dtype=np.int64)
+    if a_indices.shape != b_indices.shape or a_indices.ndim != 1:
+        raise ValueError("index arrays must be 1-D and of equal length")
+    data = get_backend().gathered_rowwise_dot(a.data, a_indices,
+                                              b.data, b_indices)
+
+    def factory(out: Tensor):
+        def backward():
+            grad = out.grad.reshape(-1, 1)
+            grad_a = np.zeros_like(a.data)
+            np.add.at(grad_a, a_indices, grad * b.data[b_indices])
+            a._accumulate(grad_a)
+            grad_b = np.zeros_like(b.data)
+            np.add.at(grad_b, b_indices, grad * a.data[a_indices])
+            b._accumulate(grad_b)
+
+        return backward
+
+    return Tensor._make(data, (a, b), factory)
+
+
 # ----------------------------------------------------------------------
 # Reductions
 # ----------------------------------------------------------------------
@@ -361,8 +406,7 @@ def segment_sum(a, segment_ids, num_segments: int) -> Tensor:
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if segment_ids.ndim != 1 or segment_ids.shape[0] != a.shape[0]:
         raise ValueError("segment_ids must be 1-D and match a.shape[0]")
-    data = np.zeros((num_segments,) + a.shape[1:], dtype=np.float64)
-    np.add.at(data, segment_ids, a.data)
+    data = get_backend().segment_sum(a.data, segment_ids, num_segments)
 
     def factory(out: Tensor):
         def backward():

@@ -22,7 +22,8 @@ from repro.autograd import ops as _ops
 _PROFILED_OPS = (
     "add", "sub", "mul", "div", "neg", "power", "matmul", "spmm",
     "reshape", "transpose", "cat", "stack", "getitem", "sum", "mean",
-    "segment_sum", "exp", "log", "sqrt", "relu", "leaky_relu", "sigmoid",
+    "segment_sum", "gathered_rowwise_dot",
+    "exp", "log", "sqrt", "relu", "leaky_relu", "sigmoid",
     "tanh", "softplus", "softmax", "maximum", "where",
 )
 

@@ -15,6 +15,7 @@ from repro.data.synthetic import (
     ciao_small,
     epinions_small,
     yelp_small,
+    medium,
     tiny,
     PRESETS,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ciao_small",
     "epinions_small",
     "yelp_small",
+    "medium",
     "tiny",
     "PRESETS",
     "Split",

@@ -281,6 +281,20 @@ def yelp_small(seed: int = 0, **overrides) -> InteractionDataset:
     return generate_dataset(replace(config, **overrides) if overrides else config)
 
 
+def medium(seed: int = 0, **overrides) -> InteractionDataset:
+    """Mid-scale profile for throughput benchmarks.
+
+    Large enough that sparse-kernel cost dominates Python overhead
+    (meaningful naive-vs-fast backend ratios), small enough to run inside
+    a test suite.
+    """
+    config = SyntheticConfig(
+        num_users=300, num_items=1200, num_relations=10, num_communities=6,
+        mean_interactions=12.0, mean_social_degree=8.0, homophily=0.85,
+        seed=seed, name="medium")
+    return generate_dataset(replace(config, **overrides) if overrides else config)
+
+
 def tiny(seed: int = 0, **overrides) -> InteractionDataset:
     """A miniature dataset for unit tests (sub-second end-to-end runs)."""
     config = SyntheticConfig(
@@ -294,5 +308,6 @@ PRESETS = {
     "ciao-small": ciao_small,
     "epinions-small": epinions_small,
     "yelp-small": yelp_small,
+    "medium": medium,
     "tiny": tiny,
 }

@@ -1,0 +1,68 @@
+"""The propagation engine: one substrate under every model's hot path.
+
+Four layers (bottom to top):
+
+* :mod:`repro.engine.backends` — pluggable sparse kernel backends
+  (``"naive"`` loop oracle, ``"fast"`` vectorized CSR), selected via
+  :func:`set_backend` / ``REPRO_ENGINE_BACKEND``;
+* :mod:`repro.engine.adjcache` — normalized adjacencies memoized by
+  matrix identity + scheme, so every matrix normalizes once per run;
+* :mod:`repro.engine.propagate` — the shared :class:`LayerStack`
+  pattern and the single :func:`bpr_terms` BPR implementation;
+* :mod:`repro.engine.instrument` — per-kernel counters (calls, nnz,
+  FLOPs, seconds, cache hits) feeding ``Trainer`` history and the
+  efficiency experiments.
+
+``propagate`` is exposed lazily because it sits above
+:mod:`repro.autograd.ops`, which itself dispatches through the backends
+defined here.
+"""
+
+from repro.engine import instrument
+from repro.engine.adjcache import (
+    AdjacencyCache,
+    cached_transpose,
+    get_cache,
+    normalized,
+)
+from repro.engine.backends import (
+    FastBackend,
+    KernelBackend,
+    NaiveBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "AdjacencyCache",
+    "FastBackend",
+    "KernelBackend",
+    "LayerStack",
+    "NaiveBackend",
+    "available_backends",
+    "bpr_terms",
+    "cached_transpose",
+    "get_backend",
+    "get_cache",
+    "instrument",
+    "normalized",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+def __getattr__(name):
+    # Lazy to keep the import graph acyclic (propagate -> autograd.ops ->
+    # engine.backends).
+    if name in ("LayerStack", "bpr_terms", "propagate"):
+        import importlib
+
+        _propagate = importlib.import_module("repro.engine.propagate")
+        if name == "propagate":
+            return _propagate
+        return getattr(_propagate, name)
+    raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")

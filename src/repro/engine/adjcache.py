@@ -1,0 +1,156 @@
+"""Memoized normalized adjacencies keyed by matrix identity + scheme.
+
+Normalizing a sparse adjacency (row / symmetric / self-loop variants,
+the paper's joint-degree scalings, or just building the transpose for an
+spmm backward) costs ``O(nnz)`` each time.  The seed code paid that cost
+repeatedly — ``DGNN.propagate_on`` re-normalized the social matrix on
+every call and ``autograd.ops.spmm`` rebuilt the CSR transpose on every
+invocation.  This cache computes each ``(matrix, scheme)`` result once
+and holds it until the matrix itself is garbage collected (entries are
+evicted through a ``weakref`` callback, so the per-batch matrices of
+induced subgraphs do not accumulate).
+
+Every lookup is counted in :mod:`repro.engine.instrument` — the
+hit/miss/normalization counters are how the tests *prove* normalization
+runs once per (matrix, scheme) per training run.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.engine.instrument import counters
+
+
+def _scheme_builders() -> Dict[str, Callable[[sp.spmatrix], sp.csr_matrix]]:
+    # Imported lazily: repro.graph.adjacency is below this module in the
+    # import graph only at call time (repro.graph.__init__ imports hetero,
+    # which imports this module).
+    from repro.graph.adjacency import (
+        add_self_loops,
+        row_normalize,
+        symmetric_normalize,
+    )
+
+    return {
+        "row": row_normalize,
+        "sym": symmetric_normalize,
+        "row_self_loop": lambda m: row_normalize(add_self_loops(m)),
+        "sym_self_loop": lambda m: symmetric_normalize(add_self_loops(m)),
+    }
+
+
+_TRANSPOSE_SCHEME = "__transpose__"
+
+
+class AdjacencyCache:
+    """Identity-keyed memo of derived sparse matrices.
+
+    Keys are ``(id(matrix), scheme)``.  Identity keying is safe because a
+    weak reference with an eviction callback is kept per source matrix:
+    when the matrix dies, all of its entries are dropped before its id
+    can be reused.
+    """
+
+    def __init__(self):
+        self._store: Dict[Tuple[int, str], sp.csr_matrix] = {}
+        self._watchers: Dict[int, weakref.ref] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _watch(self, matrix: sp.spmatrix) -> None:
+        key = id(matrix)
+        if key in self._watchers:
+            return
+
+        def evict(_ref, cache=self, key=key):
+            cache._watchers.pop(key, None)
+            for entry in [k for k in cache._store if k[0] == key]:
+                cache._store.pop(entry, None)
+
+        self._watchers[key] = weakref.ref(matrix, evict)
+
+    def normalized(self, matrix: sp.spmatrix, scheme: str,
+                   builder: Optional[Callable[[sp.spmatrix], sp.spmatrix]] = None,
+                   ) -> sp.csr_matrix:
+        """The ``scheme``-normalized view of ``matrix``, computed once.
+
+        ``scheme`` is one of ``"row"``, ``"sym"``, ``"row_self_loop"``,
+        ``"sym_self_loop"`` — or any label when an explicit ``builder``
+        callable is given (used for the paper's joint-degree scalings,
+        whose normalizers need degree vectors beyond the matrix itself).
+        """
+        key = (id(matrix), scheme)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            counters().record_cache(True)
+            return cached
+        self.misses += 1
+        counters().record_cache(False)
+        if builder is None:
+            builders = _scheme_builders()
+            if scheme not in builders:
+                raise KeyError(f"unknown normalization scheme {scheme!r}; "
+                               f"known: {sorted(builders)} (or pass builder=)")
+            builder = builders[scheme]
+        counters().record_normalization()
+        result = sp.csr_matrix(builder(matrix), dtype=np.float64)
+        result.sort_indices()
+        self._watch(matrix)
+        self._store[key] = result
+        return result
+
+    def transpose(self, matrix: sp.spmatrix) -> sp.csr_matrix:
+        """CSR transpose of ``matrix``, computed once per matrix.
+
+        Used by the spmm backward pass — the seed rebuilt this on every
+        forward call.  Not counted as a normalization.
+        """
+        key = (id(matrix), _TRANSPOSE_SCHEME)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            counters().record_cache(True)
+            return cached
+        self.misses += 1
+        counters().record_cache(False)
+        result = matrix.T.tocsr()
+        result.sort_indices()
+        self._watch(matrix)
+        self._store[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every cached entry (does not reset hit/miss counts)."""
+        self._store.clear()
+        self._watchers.clear()
+
+
+_GLOBAL = AdjacencyCache()
+
+
+def get_cache() -> AdjacencyCache:
+    """The process-global adjacency cache."""
+    return _GLOBAL
+
+
+def normalized(matrix: sp.spmatrix, scheme: str,
+               builder: Optional[Callable[[sp.spmatrix], sp.spmatrix]] = None,
+               ) -> sp.csr_matrix:
+    """Module-level shortcut for ``get_cache().normalized(...)``."""
+    return _GLOBAL.normalized(matrix, scheme, builder)
+
+
+def cached_transpose(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Module-level shortcut for ``get_cache().transpose(...)``."""
+    return _GLOBAL.transpose(matrix)

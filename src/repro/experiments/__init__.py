@@ -42,6 +42,10 @@ from repro.experiments.efficiency import (
     run_efficiency_comparison,
     run_convergence_comparison,
 )
+from repro.experiments.engine_bench import (
+    EngineBenchResults,
+    run_engine_throughput,
+)
 from repro.experiments.embedding_viz import (
     EmbeddingVizResults,
     run_embedding_visualization,
@@ -69,6 +73,8 @@ __all__ = [
     "ConvergenceResults",
     "run_efficiency_comparison",
     "run_convergence_comparison",
+    "EngineBenchResults",
+    "run_engine_throughput",
     "EmbeddingVizResults",
     "run_embedding_visualization",
     "MemoryVizResults",

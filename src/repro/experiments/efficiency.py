@@ -27,18 +27,31 @@ EFFICIENCY_MODELS = ("dgcf", "hgt", "dgnn")
 
 @dataclass
 class EfficiencyResults:
-    """Per-model training/testing seconds per epoch (Table IV)."""
+    """Per-model training/testing seconds per epoch (Table IV).
+
+    ``counters`` holds each model's aggregated kernel counters from the
+    propagation engine (spmm calls, nnz processed, dense FLOPs, kernel
+    seconds, adjacency-cache hits/misses) — the operation-level complement
+    to the wall-clock numbers.
+    """
 
     dataset_name: str
     seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def render(self) -> str:
         lines = [f"Table IV — seconds per epoch on {self.dataset_name}"]
-        header = f"{'model':<10}{'train s/epoch':>15}{'test s/pass':>14}"
+        header = f"{'model':<10}{'train s/epoch':>15}{'test s/pass':>14}" \
+                 f"{'spmm/epoch':>12}{'nnz/epoch':>14}"
         lines.append(header)
         lines.append("-" * len(header))
         for model, timing in self.seconds.items():
-            lines.append(f"{model:<10}{timing['train']:>15.3f}{timing['test']:>14.3f}")
+            ops_counts = self.counters.get(model, {})
+            epochs = max(timing.get("epochs", 1.0), 1.0)
+            spmm = ops_counts.get("calls.spmm", 0.0) / epochs
+            nnz = ops_counts.get("spmm_nnz", 0.0) / epochs
+            lines.append(f"{model:<10}{timing['train']:>15.3f}"
+                         f"{timing['test']:>14.3f}{spmm:>12.0f}{nnz:>14.0f}")
         return "\n".join(lines)
 
     def faster_than(self, model: str, other: str, phase: str = "train") -> bool:
@@ -80,7 +93,9 @@ def run_efficiency_comparison(
         results.seconds[model_name] = {
             "train": run.history.mean_train_seconds(),
             "test": run.history.mean_eval_seconds(),
+            "epochs": float(run.history.epochs_run),
         }
+        results.counters[model_name] = run.history.total_kernel_counters()
     return results
 
 

@@ -1,9 +1,31 @@
-"""Sparse adjacency normalization helpers shared by all GNN models."""
+"""Sparse adjacency normalization helpers shared by all GNN models.
+
+These are the *builders*; models should not call them per batch.  The
+memoizing layer (:mod:`repro.engine.adjcache`) invokes them once per
+``(matrix, scheme)`` and hands out the cached CSR result afterwards.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
+
+
+def as_csr64(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Coerce to the repository's canonical format: CSR, float64, sorted."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    matrix.sort_indices()
+    return matrix
+
+
+def assert_csr64(matrix: sp.spmatrix, name: str = "matrix") -> sp.csr_matrix:
+    """Raise unless ``matrix`` already is canonical CSR/float64."""
+    if not sp.issparse(matrix) or matrix.format != "csr":
+        raise TypeError(f"{name} must be a CSR matrix, got "
+                        f"{getattr(matrix, 'format', type(matrix).__name__)!r}")
+    if matrix.dtype != np.float64:
+        raise TypeError(f"{name} must be float64, got {matrix.dtype}")
+    return matrix
 
 
 def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
@@ -17,7 +39,7 @@ def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
     inverse = np.zeros_like(row_sums)
     nonzero = row_sums > 0
     inverse[nonzero] = 1.0 / row_sums[nonzero]
-    return sp.diags(inverse) @ matrix
+    return as_csr64(sp.diags(inverse) @ matrix)
 
 
 def symmetric_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
@@ -28,7 +50,7 @@ def symmetric_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
     nonzero = degrees > 0
     inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
     scale = sp.diags(inv_sqrt)
-    return scale @ matrix @ scale
+    return as_csr64(scale @ matrix @ scale)
 
 
 def add_self_loops(matrix: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:

@@ -28,7 +28,13 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.data.dataset import InteractionDataset
-from repro.graph.adjacency import bipartite_norm_adjacency, row_normalize, symmetric_normalize
+from repro.engine.adjcache import get_cache
+from repro.graph.adjacency import (
+    as_csr64,
+    assert_csr64,
+    bipartite_norm_adjacency,
+    row_normalize,
+)
 
 
 @dataclass(frozen=True)
@@ -69,18 +75,39 @@ class CollaborativeHeteroGraph:
         self.use_social = use_social
         self.use_item_relations = use_item_relations
 
+        # All three relation matrices are stored once, in the canonical
+        # CSR/float64 format, and asserted — downstream code (kernel
+        # backends, ``Recommender.recommend``'s ``indices`` slicing) is
+        # allowed to rely on it.
         pairs = dataset.interactions if train_pairs is None else train_pairs
-        self.interaction = dataset.interaction_matrix(pairs).astype(np.float64)
+        self.interaction = as_csr64(dataset.interaction_matrix(pairs))
         if use_social:
-            self.social = dataset.social_matrix().astype(np.float64)
+            self.social = as_csr64(dataset.social_matrix())
         else:
-            self.social = sp.csr_matrix((self.num_users, self.num_users))
+            self.social = as_csr64(
+                sp.csr_matrix((self.num_users, self.num_users)))
         if use_item_relations:
-            self.item_relation = dataset.item_relation_matrix().astype(np.float64)
-            self.item_relation = sp.csr_matrix(
-                self.item_relation, shape=(self.num_items, self.num_relations))
+            self.item_relation = as_csr64(sp.csr_matrix(
+                dataset.item_relation_matrix(),
+                shape=(self.num_items, self.num_relations)))
         else:
-            self.item_relation = sp.csr_matrix((self.num_items, self.num_relations))
+            self.item_relation = as_csr64(
+                sp.csr_matrix((self.num_items, self.num_relations)))
+        for name in ("interaction", "social", "item_relation"):
+            assert_csr64(getattr(self, name), name)
+
+    # ------------------------------------------------------------------
+    # Normalized views through the engine's adjacency cache
+    # ------------------------------------------------------------------
+    def normalized(self, matrix: sp.spmatrix, scheme: str,
+                   builder=None) -> sp.csr_matrix:
+        """A cached normalized view of one of this graph's matrices.
+
+        Routed through :mod:`repro.engine.adjcache`, so each
+        ``(matrix, scheme)`` pair is normalized at most once per run —
+        including for the short-lived graphs of induced subgraphs.
+        """
+        return get_cache().normalized(matrix, scheme, builder)
 
     # ------------------------------------------------------------------
     # Degrees and joint normalizers (Eqs. 4-6)
@@ -117,30 +144,35 @@ class CollaborativeHeteroGraph:
     def user_social_joint(self) -> sp.csr_matrix:
         """``S`` scaled by ``1/(|N^S_u| + |N^Y_u|)`` per target user (Eq. 4)."""
         scale = self._joint_scale(self.user_degree_social, self.user_degree_interaction)
-        return (scale @ self.social).tocsr()
+        return self.normalized(self.social, "joint_user",
+                               builder=lambda m: scale @ m)
 
     @cached_property
     def user_item_joint(self) -> sp.csr_matrix:
         """``Y`` scaled by the same joint user normalizer (Eq. 4)."""
         scale = self._joint_scale(self.user_degree_social, self.user_degree_interaction)
-        return (scale @ self.interaction).tocsr()
+        return self.normalized(self.interaction, "joint_user",
+                               builder=lambda m: scale @ m)
 
     @cached_property
     def item_user_joint(self) -> sp.csr_matrix:
         """``Y^T`` scaled by ``1/(|N^Y_v| + |N^T_v|)`` per target item (Eq. 5)."""
         scale = self._joint_scale(self.item_degree_interaction, self.item_degree_relation)
-        return (scale @ self.interaction.T.tocsr()).tocsr()
+        return self.normalized(self.interaction, "joint_item_t",
+                               builder=lambda m: scale @ m.T.tocsr())
 
     @cached_property
     def item_relation_joint(self) -> sp.csr_matrix:
         """``T`` scaled by the same joint item normalizer (Eq. 5)."""
         scale = self._joint_scale(self.item_degree_interaction, self.item_degree_relation)
-        return (scale @ self.item_relation).tocsr()
+        return self.normalized(self.item_relation, "joint_item",
+                               builder=lambda m: scale @ m)
 
     @cached_property
     def relation_item_mean(self) -> sp.csr_matrix:
         """``T^T`` scaled by ``1/|N_r|`` per relation node (Eq. 6)."""
-        return row_normalize(self.item_relation.T.tocsr())
+        return self.normalized(self.item_relation, "row_t",
+                               builder=lambda m: row_normalize(m.T.tocsr()))
 
     # ------------------------------------------------------------------
     # Baseline views
@@ -148,32 +180,43 @@ class CollaborativeHeteroGraph:
     @cached_property
     def user_item_mean(self) -> sp.csr_matrix:
         """Row-normalized ``Y`` (plain mean over interacted items)."""
-        return row_normalize(self.interaction)
+        return self.normalized(self.interaction, "row")
 
     @cached_property
     def item_user_mean(self) -> sp.csr_matrix:
         """Row-normalized ``Y^T``."""
-        return row_normalize(self.interaction.T.tocsr())
+        return self.normalized(self.interaction, "row_t",
+                               builder=lambda m: row_normalize(m.T.tocsr()))
 
     @cached_property
     def social_mean(self) -> sp.csr_matrix:
         """Row-normalized ``S`` (mean over friends)."""
-        return row_normalize(self.social)
+        return self.normalized(self.social, "row")
 
     @cached_property
     def social_sym(self) -> sp.csr_matrix:
         """Symmetric-normalized ``S``."""
-        return symmetric_normalize(self.social)
+        return self.normalized(self.social, "sym")
+
+    @cached_property
+    def social_self_loop_mean(self) -> sp.csr_matrix:
+        """Row-normalized ``S + I`` — the τ recalibration operator (Eq. 9).
+
+        The seed recomputed this inside ``DGNN.propagate_on`` on every
+        minibatch; as a cached view it normalizes once per graph.
+        """
+        return self.normalized(self.social, "row_self_loop")
 
     @cached_property
     def item_relation_mean(self) -> sp.csr_matrix:
         """Row-normalized ``T``."""
-        return row_normalize(self.item_relation)
+        return self.normalized(self.item_relation, "row")
 
     @cached_property
     def bipartite_norm(self) -> sp.csr_matrix:
         """Symmetric-normalized joint user–item adjacency for CF baselines."""
-        return bipartite_norm_adjacency(self.interaction)
+        return self.normalized(self.interaction, "bipartite",
+                               builder=bipartite_norm_adjacency)
 
     # ------------------------------------------------------------------
     # Meta-paths (HAN / HERec)

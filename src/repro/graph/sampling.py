@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.data.dataset import InteractionDataset
+from repro.engine.adjcache import cached_transpose
 from repro.graph.hetero import CollaborativeHeteroGraph
 
 
@@ -61,9 +62,12 @@ def expand_neighborhood(graph: CollaborativeHeteroGraph,
     rng = np.random.default_rng(seed)
     users = np.unique(np.asarray(seed_users, dtype=np.int64))
     items = np.unique(np.asarray(seed_items, dtype=np.int64))
-    interaction = graph.interaction.tocsr()
-    interaction_t = graph.interaction.T.tocsr()
-    social = graph.social.tocsr()
+    # Matrices are canonically CSR already; the transpose is memoized so
+    # repeated batch sampling does not rebuild it (the seed paid a full
+    # T.tocsr() conversion per batch here).
+    interaction = graph.interaction
+    interaction_t = cached_transpose(graph.interaction)
+    social = graph.social
     for _ in range(hops):
         new_users = np.union1d(
             _neighbors(social, users, fanout, rng),

@@ -15,8 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor, no_grad
+from repro.engine.propagate import bpr_terms
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.nn.module import Module
 
@@ -63,22 +63,15 @@ class Recommender(Module):
                  negatives: np.ndarray, l2: float = 1e-4) -> Tensor:
         """Pairwise BPR loss on a triple batch plus embedding L2.
 
-        The regularizer is applied to the gathered final embeddings of the
-        batch (the standard BPR practice); global weight decay can be
-        added through the optimizer if desired.
+        The math lives in :func:`repro.engine.propagate.bpr_terms`; this
+        method owns only the model plumbing (cache invalidation and the
+        forward propagation).  The regularizer is applied to the gathered
+        final embeddings of the batch (the standard BPR practice); global
+        weight decay can be added through the optimizer if desired.
         """
         self.invalidate_cache()
         user_emb, item_emb = self.propagate()
-        u = ops.gather_rows(user_emb, users)
-        p = ops.gather_rows(item_emb, positives)
-        n = ops.gather_rows(item_emb, negatives)
-        pos_scores = ops.sum(ops.mul(u, p), axis=1)
-        neg_scores = ops.sum(ops.mul(u, n), axis=1)
-        loss = ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos_scores, neg_scores))))
-        if l2 > 0:
-            reg = ops.mean(ops.sum(u * u + p * p + n * n, axis=1))
-            loss = ops.add(loss, ops.mul(Tensor(np.array(l2)), reg))
-        return loss
+        return bpr_terms(user_emb, item_emb, users, positives, negatives, l2=l2)
 
     # ------------------------------------------------------------------
     # Inference

@@ -29,19 +29,19 @@ False`` yields "-S" / "-T" / "-ST" (Fig. 5).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
-from repro.graph.adjacency import row_normalize, add_self_loops
+from repro.engine.propagate import LayerStack, bpr_terms
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.models.memory import MemoryBank
 from repro.nn.layers import Dropout, Embedding, LayerNorm
-from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.module import Module, ModuleDict, ModuleList, Parameter
 from repro.nn import init
 
 _EDGE_TYPES = ("social", "user_from_item", "item_from_user", "item_from_relation",
@@ -74,11 +74,9 @@ class _DgnnLayer(Module):
         self.dropout = Dropout(message_dropout, rng=np.random.default_rng(
             int(rng.integers(0, 2**31))))
         if use_memory:
-            self.banks = {edge_type: MemoryBank(dim, num_memory_units, rng)
-                          for edge_type in _EDGE_TYPES}
-            for edge_type, bank in self.banks.items():
-                self._modules[f"bank_{edge_type}"] = bank
-                object.__setattr__(self, f"bank_{edge_type}", bank)
+            self.banks = ModuleDict({
+                edge_type: MemoryBank(dim, num_memory_units, rng)
+                for edge_type in _EDGE_TYPES})
         else:
             self.plain = _PlainTransforms(dim, rng)
         self.norm_user = LayerNorm(dim)
@@ -206,39 +204,34 @@ class DGNN(Recommender):
             for _ in range(self.num_layers)
         ])
         self.final_norm = LayerNorm(embed_dim * (self.num_layers + 1))
-        # τ (Eq. 9): row-normalized (S + I) averaging a user's social
-        # neighbourhood including themselves.
-        self._tau_matrix = row_normalize(add_self_loops(graph.social))
 
     # ------------------------------------------------------------------
+    def _stack(self) -> LayerStack:
+        """The Eq. 8 cross-layer aggregation as a shared LayerStack."""
+        return LayerStack(
+            self.num_layers, combine="concat", include_input=True,
+            final_norm=self.final_norm if self.use_layernorm else None)
+
     def propagate_all(self) -> Tuple[Tensor, Tensor, Tensor]:
         """Run Eqs. 3–8; return final user / item / relation embeddings."""
-        users = self.user_embedding.all()
-        items = self.item_embedding.all()
-        relations = self.relation_embedding.all()
-        user_layers: List[Tensor] = [users]
-        item_layers: List[Tensor] = [items]
-        relation_layers: List[Tensor] = [relations]
-        for layer in self.layers:
-            users, items, relations = layer(self.graph, users, items, relations)
-            user_layers.append(users)
-            item_layers.append(items)
-            relation_layers.append(relations)
-        if self.use_layernorm:
-            user_final = self.final_norm(ops.cat(user_layers, axis=1))
-            item_final = self.final_norm(ops.cat(item_layers, axis=1))
-            relation_final = self.final_norm(ops.cat(relation_layers, axis=1))
-        else:
-            user_final = ops.cat(user_layers, axis=1)
-            item_final = ops.cat(item_layers, axis=1)
-            relation_final = ops.cat(relation_layers, axis=1)
-        return user_final, item_final, relation_final
+        initial = (self.user_embedding.all(), self.item_embedding.all(),
+                   self.relation_embedding.all())
+
+        def step(layer_index, users, items, relations):
+            return self.layers[layer_index](self.graph, users, items, relations)
+
+        return self._stack().run(initial, step)
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
-        """Final embeddings with τ folded into the user side (Eq. 10)."""
+        """Final embeddings with τ folded into the user side (Eq. 10).
+
+        τ (Eq. 9) is the row-normalized ``S + I`` average of a user's
+        social neighbourhood including themselves — served as a cached
+        graph view, so it is normalized once per run, not per call.
+        """
         user_final, item_final, _ = self.propagate_all()
         if self.use_tau:
-            recalibrated = ops.spmm(self._tau_matrix, user_final)
+            recalibrated = ops.spmm(self.graph.social_self_loop_mean, user_final)
             user_final = ops.add(user_final, recalibrated)
         return user_final, item_final
 
@@ -253,24 +246,21 @@ class DGNN(Recommender):
         scatter back into the global embedding tables).  Normalizers are
         the induced-degree approximation of full-graph propagation.
         """
-        users = ops.gather_rows(self.user_embedding.weight, subgraph.user_ids)
-        items = ops.gather_rows(self.item_embedding.weight, subgraph.item_ids)
-        relations = self.relation_embedding.all()
-        user_layers: List[Tensor] = [users]
-        item_layers: List[Tensor] = [items]
-        for layer in self.layers:
-            users, items, relations = layer(subgraph.graph, users, items,
+        initial = (
+            ops.gather_rows(self.user_embedding.weight, subgraph.user_ids),
+            ops.gather_rows(self.item_embedding.weight, subgraph.item_ids),
+            self.relation_embedding.all())
+
+        def step(layer_index, users, items, relations):
+            return self.layers[layer_index](subgraph.graph, users, items,
                                             relations)
-            user_layers.append(users)
-            item_layers.append(items)
-        if self.use_layernorm:
-            user_final = self.final_norm(ops.cat(user_layers, axis=1))
-            item_final = self.final_norm(ops.cat(item_layers, axis=1))
-        else:
-            user_final = ops.cat(user_layers, axis=1)
-            item_final = ops.cat(item_layers, axis=1)
+
+        user_final, item_final, _ = self._stack().run(initial, step)
         if self.use_tau:
-            tau_matrix = row_normalize(add_self_loops(subgraph.graph.social))
+            # Cached view: repeated propagation on the same subgraph (and
+            # every full-graph call) normalizes (S + I) exactly once —
+            # the seed re-ran row_normalize(add_self_loops(S)) per batch.
+            tau_matrix = subgraph.graph.social_self_loop_mean
             user_final = ops.add(user_final, ops.spmm(tau_matrix, user_final))
         return user_final, item_final
 
@@ -300,16 +290,10 @@ class DGNN(Recommender):
             fanout=fanout, seed=seed)
         subgraph = induced_subgraph(self.graph, user_ids, item_ids)
         user_emb, item_emb = self.propagate_on(subgraph)
-        u = ops.gather_rows(user_emb, subgraph.local_users(users))
-        p = ops.gather_rows(item_emb, subgraph.local_items(positives))
-        n = ops.gather_rows(item_emb, subgraph.local_items(negatives))
-        pos_scores = ops.sum(ops.mul(u, p), axis=1)
-        neg_scores = ops.sum(ops.mul(u, n), axis=1)
-        loss = ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos_scores, neg_scores))))
-        if l2 > 0:
-            reg = ops.mean(ops.sum(u * u + p * p + n * n, axis=1))
-            loss = ops.add(loss, ops.mul(Tensor(np.array(l2)), reg))
-        return loss
+        return bpr_terms(user_emb, item_emb,
+                         subgraph.local_users(users),
+                         subgraph.local_items(positives),
+                         subgraph.local_items(negatives), l2=l2)
 
     # ------------------------------------------------------------------
     # Introspection for the case studies (Figs. 9-10)

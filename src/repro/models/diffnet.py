@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.engine.propagate import LayerStack
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn import init
@@ -41,16 +42,17 @@ class DiffNet(Recommender):
         # Per-layer fusion weights of the diffusion step.
         self.layer_weights = Parameter(
             init.xavier_uniform((self.num_layers, embed_dim, embed_dim), rng))
+        self._stack = LayerStack(self.num_layers, combine="last")
+
+    def _step(self, layer_index: int, diffused: Tensor) -> Tensor:
+        social_mean = ops.spmm(self.graph.social_mean, diffused)
+        weight = self.layer_weights[np.int64(layer_index)]
+        return ops.add(ops.leaky_relu(ops.matmul(social_mean, weight), 0.2),
+                       diffused)
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
-        users = self.user_embedding.all()
         items = self.item_embedding.all()
-        diffused = users
-        for layer in range(self.num_layers):
-            social_mean = ops.spmm(self.graph.social_mean, diffused)
-            weight = self.layer_weights[np.int64(layer)]
-            diffused = ops.add(ops.leaky_relu(ops.matmul(social_mean, weight), 0.2),
-                               diffused)
+        diffused = self._stack.run(self.user_embedding.all(), self._step)
         interacted = ops.spmm(self.graph.user_item_mean, items)
         user_final = ops.add(diffused, interacted)
         return user_final, items

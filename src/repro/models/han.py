@@ -29,7 +29,7 @@ from repro.graph.hetero import CollaborativeHeteroGraph, EdgeSet
 from repro.models.base import Recommender
 from repro.nn import init
 from repro.nn.layers import Embedding, Linear
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, ModuleDict, Parameter
 
 
 def _edge_set(matrix: sp.spmatrix, name: str) -> EdgeSet:
@@ -95,10 +95,10 @@ class HAN(Recommender):
         rng = np.random.default_rng(seed)
         self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
         self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
-        self.user_attention_uu = _NodeAttention(embed_dim, rng)
-        self.user_attention_uiu = _NodeAttention(embed_dim, rng)
-        self.item_attention_iui = _NodeAttention(embed_dim, rng)
-        self.item_attention_ir = _NodeAttention(embed_dim, rng)
+        # One node-level attention per meta-path, keyed by path name.
+        self.path_attention = ModuleDict()
+        for path in ("uu", "uiu", "iui", "ir"):
+            self.path_attention[path] = _NodeAttention(embed_dim, rng)
         self.user_semantic = _SemanticAttention(embed_dim, rng)
         self.item_semantic = _SemanticAttention(embed_dim, rng)
         self._edges_uu = _edge_set(graph.social, "uu")
@@ -122,15 +122,15 @@ class HAN(Recommender):
         users = self.user_embedding.all()
         items = self.item_embedding.all()
         user_paths = [
-            self.user_attention_uu(users, users, self._edges_uu,
-                                   self.graph.num_users),
-            self.user_attention_uiu(users, users, self._edges_uiu,
-                                    self.graph.num_users),
+            self.path_attention["uu"](users, users, self._edges_uu,
+                                      self.graph.num_users),
+            self.path_attention["uiu"](users, users, self._edges_uiu,
+                                       self.graph.num_users),
         ]
         item_paths = [
-            self.item_attention_iui(items, items, self._edges_iui,
-                                    self.graph.num_items),
-            self.item_attention_ir(
+            self.path_attention["iui"](items, items, self._edges_iui,
+                                       self.graph.num_items),
+            self.path_attention["ir"](
                 ops.spmm(self.graph.relation_item_mean, items), items,
                 self._edges_ir, self.graph.num_items),
         ]

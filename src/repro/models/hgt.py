@@ -24,7 +24,7 @@ from repro.graph.hetero import CollaborativeHeteroGraph, EdgeSet
 from repro.models.base import Recommender
 from repro.nn import init
 from repro.nn.layers import Embedding, Linear
-from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.module import Module, ModuleDict, ModuleList, Parameter
 
 _NODE_TYPES = ("user", "item", "relation")
 # (edge name, source type, target type, edge list kind)
@@ -43,11 +43,17 @@ class _HgtLayer(Module):
     def __init__(self, dim: int, rng: np.random.Generator):
         super().__init__()
         self.dim = dim
+        self.key = ModuleDict()
+        self.query = ModuleDict()
+        self.value = ModuleDict()
+        self.out = ModuleDict()
         for node_type in _NODE_TYPES:
-            setattr(self, f"key_{node_type}", Linear(dim, dim, bias=False, rng=rng))
-            setattr(self, f"query_{node_type}", Linear(dim, dim, bias=False, rng=rng))
-            setattr(self, f"value_{node_type}", Linear(dim, dim, bias=False, rng=rng))
-            setattr(self, f"out_{node_type}", Linear(dim, dim, rng=rng))
+            self.key[node_type] = Linear(dim, dim, bias=False, rng=rng)
+            self.query[node_type] = Linear(dim, dim, bias=False, rng=rng)
+            self.value[node_type] = Linear(dim, dim, bias=False, rng=rng)
+            self.out[node_type] = Linear(dim, dim, rng=rng)
+        # Per-edge-type attention / message matrices stay plain
+        # Parameters — ModuleDict holds modules, not weights.
         for edge_name, _, _, _ in _EDGE_SPECS:
             setattr(self, f"att_{edge_name}",
                     Parameter(init.xavier_uniform((dim, dim), rng)))
@@ -56,9 +62,9 @@ class _HgtLayer(Module):
 
     def forward(self, features: Dict[str, Tensor],
                 edge_lists: Dict[str, EdgeSet]) -> Dict[str, Tensor]:
-        keys = {t: getattr(self, f"key_{t}")(features[t]) for t in _NODE_TYPES}
-        queries = {t: getattr(self, f"query_{t}")(features[t]) for t in _NODE_TYPES}
-        values = {t: getattr(self, f"value_{t}")(features[t]) for t in _NODE_TYPES}
+        keys = {t: self.key[t](features[t]) for t in _NODE_TYPES}
+        queries = {t: self.query[t](features[t]) for t in _NODE_TYPES}
+        values = {t: self.value[t](features[t]) for t in _NODE_TYPES}
 
         aggregated: Dict[str, Tensor] = {}
         for edge_name, src_type, dst_type, _ in _EDGE_SPECS:
@@ -85,7 +91,7 @@ class _HgtLayer(Module):
         outputs: Dict[str, Tensor] = {}
         for node_type in _NODE_TYPES:
             if node_type in aggregated:
-                projected = getattr(self, f"out_{node_type}")(
+                projected = self.out[node_type](
                     ops.leaky_relu(aggregated[node_type], 0.2))
                 outputs[node_type] = ops.add(projected, features[node_type])
             else:

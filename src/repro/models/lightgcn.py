@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.engine.propagate import LayerStack
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn.layers import Embedding
@@ -31,15 +32,12 @@ class LightGCN(Recommender):
         self.num_layers = int(num_layers)
         self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
         self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
+        self._stack = LayerStack(self.num_layers, combine="mean")
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
         joint = ops.cat([self.user_embedding.all(), self.item_embedding.all()], axis=0)
-        accumulated = joint
-        current = joint
-        for _ in range(self.num_layers):
-            current = ops.spmm(self.graph.bipartite_norm, current)
-            accumulated = ops.add(accumulated, current)
-        mean = ops.mul(accumulated, Tensor(np.array(1.0 / (self.num_layers + 1))))
+        mean = self._stack.run(
+            joint, lambda _, current: ops.spmm(self.graph.bipartite_norm, current))
         user_index = np.arange(self.graph.num_users)
         item_index = self.graph.num_users + np.arange(self.graph.num_items)
         return mean[user_index], mean[item_index]

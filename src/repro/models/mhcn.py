@@ -24,7 +24,8 @@ import scipy.sparse as sp
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
-from repro.graph.adjacency import symmetric_normalize
+from repro.engine.adjcache import normalized
+from repro.engine.propagate import LayerStack
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn import init
@@ -47,7 +48,7 @@ def _motif_channels(graph: CollaborativeHeteroGraph) -> List[sp.csr_matrix]:
         matrix = sp.csr_matrix(matrix)
         if matrix.nnz == 0:  # fall back to the raw social graph
             matrix = social.copy()
-        channels.append(symmetric_normalize(matrix))
+        channels.append(normalized(matrix, "sym"))
     return channels
 
 
@@ -67,19 +68,15 @@ class MHCN(Recommender):
         self.channel_attention = Parameter(init.xavier_uniform((embed_dim, 3), rng))
         self._channels = _motif_channels(graph)
         self._ssl_rng = np.random.default_rng(seed + 7)
+        self._stack = LayerStack(self.num_layers, combine="mean")
 
     def _channel_embeddings(self) -> List[Tensor]:
         users = self.user_embedding.all()
-        outputs = []
-        for channel in self._channels:
-            current = users
-            accumulated = users
-            for _ in range(self.num_layers):
-                current = ops.spmm(channel, current)
-                accumulated = ops.add(accumulated, current)
-            outputs.append(ops.mul(accumulated,
-                                   Tensor(np.array(1.0 / (self.num_layers + 1)))))
-        return outputs
+        return [
+            self._stack.run(users,
+                            lambda _, current: ops.spmm(channel, current))
+            for channel in self._channels
+        ]
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
         channel_embs = self._channel_embeddings()

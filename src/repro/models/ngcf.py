@@ -15,12 +15,13 @@ propagation channels with small fixed weight.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.engine.propagate import LayerStack
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn import init
@@ -68,24 +69,24 @@ class NGCF(Recommender):
         self.layers = ModuleList([_NgcfLayer(embed_dim, rng)
                                   for _ in range(self.num_layers)])
         self._item_context = (graph.item_relation_mean @ graph.relation_item_mean).tocsr()
+        self._stack = LayerStack(self.num_layers, combine="concat")
+
+    def _step(self, layer_index: int, joint: Tensor) -> Tensor:
+        joint = self.layers[layer_index](self.graph.bipartite_norm, joint)
+        if self.context_weight > 0:
+            user_part = joint[np.arange(self.graph.num_users)]
+            item_part = joint[self.graph.num_users + np.arange(self.graph.num_items)]
+            social = ops.spmm(self.graph.social_mean, user_part)
+            related = ops.spmm(self._item_context, item_part)
+            context = ops.cat([social, related], axis=0)
+            joint = ops.add(joint, ops.mul(Tensor(np.array(self.context_weight)),
+                                           context))
+        return joint
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
-        users = self.user_embedding.all()
-        items = self.item_embedding.all()
-        joint = ops.cat([users, items], axis=0)
-        outputs: List[Tensor] = [joint]
-        for layer in self.layers:
-            joint = layer(self.graph.bipartite_norm, joint)
-            if self.context_weight > 0:
-                user_part = joint[np.arange(self.graph.num_users)]
-                item_part = joint[self.graph.num_users + np.arange(self.graph.num_items)]
-                social = ops.spmm(self.graph.social_mean, user_part)
-                related = ops.spmm(self._item_context, item_part)
-                context = ops.cat([social, related], axis=0)
-                joint = ops.add(joint, ops.mul(Tensor(np.array(self.context_weight)),
-                                               context))
-            outputs.append(joint)
-        final = ops.cat(outputs, axis=1)
+        joint = ops.cat([self.user_embedding.all(), self.item_embedding.all()],
+                        axis=0)
+        final = self._stack.run(joint, self._step)
         user_final = final[np.arange(self.graph.num_users)]
         item_final = final[self.graph.num_users + np.arange(self.graph.num_items)]
         return user_final, item_final

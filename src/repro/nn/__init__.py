@@ -6,7 +6,7 @@ layers (:class:`Linear`, :class:`Embedding`, :class:`LayerNorm`,
 :class:`Adam`).
 """
 
-from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.module import Module, ModuleDict, ModuleList, Parameter
 from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, Sequential
 from repro.nn import init
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
@@ -14,6 +14,7 @@ from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 __all__ = [
     "Module",
     "Parameter",
+    "ModuleDict",
     "ModuleList",
     "Linear",
     "Embedding",

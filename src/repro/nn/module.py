@@ -136,3 +136,47 @@ class ModuleList(Module):
 
     def __len__(self) -> int:
         return len(self._list)
+
+
+class ModuleDict(Module):
+    """A string-keyed container of submodules.
+
+    Values assigned through ``__setitem__`` register in ``_modules`` under
+    their key, so ``named_parameters`` yields dotted names like
+    ``banks.social.weight`` — no more reaching into ``_modules`` by hand
+    to register per-relation submodules.
+    """
+
+    def __init__(self, modules: Dict[str, Module] = None):
+        super().__init__()
+        for key, module in (modules or {}).items():
+            self[key] = module
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        if not isinstance(key, str):
+            raise TypeError(f"ModuleDict keys must be str, got {type(key).__name__}")
+        if not isinstance(module, Module):
+            raise TypeError(f"ModuleDict values must be Module, got "
+                            f"{type(module).__name__}")
+        self._modules[key] = module
+
+    def __getitem__(self, key: str) -> Module:
+        return self._modules[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._modules
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def keys(self):
+        return self._modules.keys()
+
+    def values(self):
+        return self._modules.values()
+
+    def items(self):
+        return self._modules.items()

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.data.sampling import BprSampler, EvalCandidates, build_eval_candidates
 from repro.data.split import Split
+from repro.engine import instrument
 from repro.eval.protocol import evaluate_model
 from repro.models.base import Recommender
 from repro.nn.optim import Adam, clip_grad_norm
@@ -31,6 +32,7 @@ class TrainingHistory:
     metrics: List[Dict[str, float]] = field(default_factory=list)
     train_seconds: List[float] = field(default_factory=list)
     eval_seconds: List[float] = field(default_factory=list)
+    kernel_counters: List[Dict[str, float]] = field(default_factory=list)
     best_epoch: int = -1
     best_metrics: Dict[str, float] = field(default_factory=dict)
 
@@ -49,6 +51,14 @@ class TrainingHistory:
     def mean_eval_seconds(self) -> float:
         """Average evaluation wall-clock per pass (Table IV)."""
         return sum(self.eval_seconds) / max(len(self.eval_seconds), 1)
+
+    def total_kernel_counters(self) -> Dict[str, float]:
+        """Sum of the per-epoch kernel counter deltas over the whole run."""
+        totals: Dict[str, float] = {}
+        for epoch_counters in self.kernel_counters:
+            for key, value in epoch_counters.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
 
 
 class Trainer:
@@ -97,6 +107,7 @@ class Trainer:
             start = time.perf_counter()
             epoch_loss = 0.0
             self.model.train()
+            counters_before = instrument.snapshot()
             for users, positives, negatives in self.sampler.epoch(batches):
                 self.optimizer.zero_grad()
                 loss = self.model.bpr_loss(users, positives, negatives, l2=config.l2)
@@ -108,6 +119,8 @@ class Trainer:
             self.model.invalidate_cache()
             history.losses.append(epoch_loss / batches)
             history.train_seconds.append(time.perf_counter() - start)
+            history.kernel_counters.append(
+                instrument.delta(counters_before, instrument.snapshot()))
 
             if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
                 start = time.perf_counter()

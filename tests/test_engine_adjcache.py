@@ -1,0 +1,177 @@
+"""Adjacency cache: each (matrix, scheme) normalizes exactly once.
+
+Also proves the acceptance property of the engine refactor: repeated
+DGNN propagation no longer re-normalizes adjacencies per batch — the τ
+operator and every graph view are served from the cache, visible through
+the instrumentation counters.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import leave_one_out, tiny
+from repro.engine import AdjacencyCache, get_cache, instrument
+from repro.graph.adjacency import row_normalize
+from repro.graph.hetero import CollaborativeHeteroGraph
+from repro.graph.sampling import expand_neighborhood, induced_subgraph
+from repro.models import create_model
+from repro.train import TrainConfig, Trainer
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    instrument.reset_counters()
+    yield
+    instrument.reset_counters()
+
+
+def _matrix(rng, n=10):
+    return sp.csr_matrix(sp.random(
+        n, n, density=0.3,
+        random_state=np.random.RandomState(int(rng.integers(2**31)))),
+        dtype=np.float64)
+
+
+class TestAdjacencyCache:
+    def test_normalizes_once_per_matrix_and_scheme(self, rng):
+        cache = AdjacencyCache()
+        matrix = _matrix(rng)
+        first = cache.normalized(matrix, "row")
+        for _ in range(5):
+            again = cache.normalized(matrix, "row")
+            assert again is first  # identity, not merely equality
+        assert cache.misses == 1
+        assert cache.hits == 5
+        np.testing.assert_allclose(first.toarray(),
+                                   row_normalize(matrix).toarray())
+
+    def test_distinct_schemes_are_distinct_entries(self, rng):
+        cache = AdjacencyCache()
+        matrix = _matrix(rng)
+        cache.normalized(matrix, "row")
+        cache.normalized(matrix, "sym")
+        cache.normalized(matrix, "row_self_loop")
+        assert cache.misses == 3
+        assert len(cache) == 3
+
+    def test_custom_builder(self, rng):
+        cache = AdjacencyCache()
+        matrix = _matrix(rng)
+        calls = []
+
+        def builder(m):
+            calls.append(1)
+            return m * 2.0
+
+        doubled = cache.normalized(matrix, "doubled", builder)
+        cache.normalized(matrix, "doubled", builder)
+        assert len(calls) == 1
+        np.testing.assert_allclose(doubled.toarray(), matrix.toarray() * 2.0)
+
+    def test_entries_evicted_when_matrix_garbage_collected(self, rng):
+        cache = AdjacencyCache()
+        matrix = _matrix(rng)
+        cache.normalized(matrix, "row")
+        cache.normalized(matrix, "sym")
+        assert len(cache) == 2
+        del matrix
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_counters_record_hits_and_misses(self, rng):
+        matrix = _matrix(rng)
+        cache = get_cache()
+        cache.clear()
+        before = instrument.snapshot()
+        cache.normalized(matrix, "row")
+        cache.normalized(matrix, "row")
+        delta = instrument.delta(before, instrument.snapshot())
+        assert delta["normalizations"] == 1
+        assert delta["cache_misses"] == 1
+        assert delta["cache_hits"] == 1
+
+
+class TestGraphViewsUseCache:
+    def test_graph_views_normalize_once(self):
+        dataset = tiny(seed=0)
+        split = leave_one_out(dataset, seed=0)
+        get_cache().clear()
+        before = instrument.snapshot()
+        graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+        for _ in range(3):
+            graph.user_item_mean
+            graph.social_mean
+            graph.social_sym
+            graph.social_self_loop_mean
+            graph.bipartite_norm
+        delta = instrument.delta(before, instrument.snapshot())
+        assert delta["normalizations"] == 5
+
+    def test_tau_view_matches_reference(self, tiny_graph):
+        from repro.graph.adjacency import add_self_loops
+
+        expected = row_normalize(add_self_loops(tiny_graph.social))
+        np.testing.assert_allclose(tiny_graph.social_self_loop_mean.toarray(),
+                                   expected.toarray())
+
+
+class TestPropagationHitsCache:
+    def test_propagate_on_normalizes_tau_once_per_subgraph(self, tiny_graph):
+        """The seed called row_normalize(add_self_loops(S)) per batch."""
+        model = create_model("dgnn", tiny_graph, embed_dim=8, seed=0)
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, tiny_graph.num_users, 8).astype(np.int64)
+        items = rng.integers(0, tiny_graph.num_items, 8).astype(np.int64)
+        user_ids, item_ids = expand_neighborhood(tiny_graph, users, items,
+                                                 hops=1, fanout=5)
+        subgraph = induced_subgraph(tiny_graph, user_ids, item_ids)
+
+        before = instrument.snapshot()
+        model.propagate_on(subgraph)
+        first = instrument.delta(before, instrument.snapshot())
+
+        before = instrument.snapshot()
+        model.propagate_on(subgraph)
+        model.propagate_on(subgraph)
+        repeat = instrument.delta(before, instrument.snapshot())
+
+        # All normalization happened on first touch; repeated batches on
+        # the same subgraph trigger zero re-normalization.
+        assert first["normalizations"] >= 1
+        assert repeat.get("normalizations", 0) == 0
+
+        # The τ operator propagate_on used is the cached entry: asking
+        # the cache for it again is a hit, not a fresh normalization.
+        before = instrument.snapshot()
+        subgraph.graph.normalized(subgraph.graph.social, "row_self_loop")
+        hit = instrument.delta(before, instrument.snapshot())
+        assert hit.get("cache_hits", 0) == 1
+        assert hit.get("normalizations", 0) == 0
+
+    def test_full_graph_propagate_does_not_renormalize(self, tiny_graph):
+        model = create_model("dgnn", tiny_graph, embed_dim=8, seed=0)
+        model.propagate()  # warm every view
+        before = instrument.snapshot()
+        model.propagate()
+        model.propagate()
+        delta = instrument.delta(before, instrument.snapshot())
+        assert delta.get("normalizations", 0) == 0
+
+
+class TestTrainerCounters:
+    def test_history_records_kernel_counters(self, tiny_graph, tiny_split,
+                                             tiny_candidates):
+        model = create_model("lightgcn", tiny_graph, embed_dim=8, seed=0)
+        config = TrainConfig(epochs=2, batch_size=64, batches_per_epoch=2,
+                             eval_every=2, patience=None)
+        history = Trainer(model, tiny_split, config, tiny_candidates).fit()
+        assert len(history.kernel_counters) == 2
+        for epoch_counters in history.kernel_counters:
+            assert epoch_counters.get("calls.spmm", 0) > 0
+            assert epoch_counters.get("calls.gathered_rowwise_dot", 0) > 0
+        totals = history.total_kernel_counters()
+        assert totals["calls.spmm"] == sum(
+            c["calls.spmm"] for c in history.kernel_counters)

@@ -1,0 +1,36 @@
+"""Smoke-scale engine throughput run — tier-1 keeps BENCH_engine.json fresh.
+
+The full-size comparison lives in ``benchmarks/test_engine_throughput.py``;
+this test runs the identical harness at tiny scale so every test-suite run
+re-validates the naive/fast plumbing end to end and refreshes the JSON
+artifact at the repository root.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.engine_bench import run_engine_throughput
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.engine_throughput
+def test_engine_throughput_smoke():
+    output = REPO_ROOT / "BENCH_engine.json"
+    results = run_engine_throughput(
+        preset="tiny", epochs=1, batches_per_epoch=2, batch_size=128,
+        embed_dim=8, num_layers=1, output_path=output)
+
+    assert set(results.backends) == {"naive", "fast"}
+    for stats in results.backends.values():
+        assert stats["epochs_per_sec"] > 0
+        assert stats["calls.spmm"] > 0
+    # Identical workload under both backends: same kernel call counts.
+    assert (results.backends["naive"]["calls.spmm"]
+            == results.backends["fast"]["calls.spmm"])
+
+    payload = json.loads(output.read_text())
+    assert payload["dataset"] == "tiny"
+    assert payload["speedup_fast_over_naive"] == pytest.approx(results.speedup)

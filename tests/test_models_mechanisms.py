@@ -147,7 +147,7 @@ class TestHGT:
         model = HGT(tiny_graph, embed_dim=8, seed=0, num_layers=1)
         names = {name for name, _ in model.named_parameters()}
         for node_type in ("user", "item", "relation"):
-            assert any(f"key_{node_type}" in n for n in names)
+            assert any(f"key.{node_type}" in n for n in names)
         for edge in ("social", "ui", "iu", "ir", "ri"):
             assert any(f"att_{edge}" in n for n in names)
 
@@ -159,7 +159,7 @@ class TestHGT:
         for edge in ("social", "ui", "iu", "ir", "ri"):
             getattr(layer, f"msg_{edge}").data[:] = 0.0
         for node_type in ("user", "item", "relation"):
-            getattr(layer, f"out_{node_type}").bias.data[:] = 0.0
+            layer.out[node_type].bias.data[:] = 0.0
         with no_grad():
             users, _ = model.propagate()
         base = model.user_embedding.weight.data

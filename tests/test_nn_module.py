@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.nn import Linear, Module, ModuleList, Parameter
+from repro.nn import Linear, Module, ModuleDict, ModuleList, Parameter
 
 
 class _Net(Module):
@@ -118,3 +118,40 @@ class TestModuleList:
     def test_forward_not_implemented_on_base(self):
         with pytest.raises(NotImplementedError):
             Module().forward()
+
+
+class TestModuleDict:
+    def test_setitem_registers_parameters(self):
+        banks = ModuleDict()
+        banks["social"] = Linear(2, 3)
+        banks["self_user"] = Linear(2, 3)
+        net = Module.__new__(Module)
+        Module.__init__(net)
+        net.banks = banks
+        names = {name for name, _ in net.named_parameters()}
+        assert "banks.social.weight" in names
+        assert "banks.self_user.weight" in names
+
+    def test_init_from_dict_and_access(self):
+        banks = ModuleDict({"a": Linear(2, 2), "b": Linear(2, 2)})
+        assert len(banks) == 2
+        assert "a" in banks and "c" not in banks
+        assert set(banks) == {"a", "b"}
+        assert set(banks.keys()) == {"a", "b"}
+        assert banks["a"] is dict(banks.items())["a"]
+        assert list(banks.values())[0] is banks["a"]
+
+    def test_train_eval_propagates(self):
+        banks = ModuleDict({"a": Linear(2, 2)})
+        banks.eval()
+        assert not banks["a"].training
+        banks.train()
+        assert banks["a"].training
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            ModuleDict()[0] = Linear(2, 2)
+
+    def test_non_module_value_rejected(self):
+        with pytest.raises(TypeError):
+            ModuleDict()["w"] = np.zeros(3)
