@@ -1,0 +1,112 @@
+"""Throughput-regression gate for the engine benchmark artifact.
+
+Compares a freshly generated ``BENCH_engine.json`` against the committed
+one, preset by preset, and fails when any shared throughput metric
+regressed by more than the threshold (30% by default — generous enough
+to absorb single-machine timer noise, tight enough to catch a kernel
+accidentally falling off its fast path).
+
+Only presets present in *both* files are compared: a fresh tiny-scale
+smoke run is judged against the committed tiny numbers and never against
+the medium ones.  Counter-style metrics (kernel call counts) are
+compared exactly — the same workload must issue the same kernel calls.
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh /tmp/BENCH_engine.json
+    python benchmarks/check_regression.py --fresh new.json --baseline old.json
+
+Exit status 0 when everything holds, 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine.json"
+DEFAULT_THRESHOLD = 0.30
+
+# Throughput metrics: higher is better; a drop beyond the threshold fails.
+_THROUGHPUT_KEYS = ("epochs_per_sec",)
+# Workload metrics: identical configs must do identical kernel work.
+_EXACT_KEYS = ("calls.spmm", "calls.gathered_rowwise_dot",
+               "calls.memory_mixture")
+
+
+def _presets(payload: Dict) -> Dict[str, Dict]:
+    """Extract the per-preset sections (supports the pre-preset schema)."""
+    if isinstance(payload.get("presets"), dict):
+        return payload["presets"]
+    if "backends" in payload:  # legacy flat layout: one unnamed preset
+        return {str(payload.get("dataset", "default")): payload}
+    return {}
+
+
+def compare(baseline: Dict, fresh: Dict,
+            threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Return a list of human-readable regression descriptions (empty = ok)."""
+    problems: List[str] = []
+    base_presets = _presets(baseline)
+    fresh_presets = _presets(fresh)
+    shared = sorted(set(base_presets) & set(fresh_presets))
+    if not shared:
+        return [f"no shared presets between baseline ({sorted(base_presets)}) "
+                f"and fresh ({sorted(fresh_presets)})"]
+    for preset in shared:
+        base_backends = base_presets[preset].get("backends", {})
+        fresh_backends = fresh_presets[preset].get("backends", {})
+        for backend in sorted(set(base_backends) & set(fresh_backends)):
+            base_stats = base_backends[backend]
+            fresh_stats = fresh_backends[backend]
+            for key in _THROUGHPUT_KEYS:
+                old = base_stats.get(key)
+                new = fresh_stats.get(key)
+                if not old or new is None:
+                    continue
+                drop = (old - new) / old
+                if drop > threshold:
+                    problems.append(
+                        f"{preset}/{backend}: {key} regressed "
+                        f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+            for key in _EXACT_KEYS:
+                old = base_stats.get(key)
+                new = fresh_stats.get(key)
+                if old is not None and new is not None and old != new:
+                    problems.append(
+                        f"{preset}/{backend}: {key} changed "
+                        f"({old:.0f} -> {new:.0f}) — workload drift")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated BENCH_engine.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed artifact to compare against "
+                             "(default: repo-root BENCH_engine.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated fractional throughput drop "
+                             "(default: 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    problems = compare(baseline, fresh, threshold=args.threshold)
+    if problems:
+        print("throughput regression detected:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("no throughput regression (threshold "
+          f"{100 * args.threshold:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

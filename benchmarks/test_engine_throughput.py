@@ -1,9 +1,12 @@
-"""Engine benchmark: epochs/sec of the naive vs fast kernel backends.
+"""Engine benchmark: the full backend / kernel / dtype / thread suite.
 
-Runs DGNN training on the ``medium`` synthetic profile under both
-backends and publishes the throughput table plus ``BENCH_engine.json``
-at the repository root.  Scale follows ``REPRO_BENCH_MODE`` like every
-other benchmark (smoke → tiny dataset, single short epoch).
+Runs DGNN training on the ``medium`` synthetic profile under all three
+kernel backends, times the fused memory-mixture kernel against the
+unfused composition, sweeps the engine dtype and the threaded-spmm
+worker count, and publishes the table plus the per-preset section of
+``BENCH_engine.json`` at the repository root.  Scale follows
+``REPRO_BENCH_MODE`` like every other benchmark (smoke → tiny dataset,
+single short epoch).
 """
 
 from pathlib import Path
@@ -12,7 +15,7 @@ import pytest
 
 from conftest import MODE, publish
 
-from repro.experiments.engine_bench import run_engine_throughput
+from repro.experiments.engine_bench import run_engine_suite
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -29,11 +32,16 @@ _SCALES = {
 @pytest.mark.engine_throughput
 def test_engine_throughput():
     scale = _SCALES.get(MODE, _SCALES["quick"])
-    results = run_engine_throughput(
+    results = run_engine_suite(
         output_path=REPO_ROOT / "BENCH_engine.json", **scale)
     publish("bench_engine", results.render())
 
-    assert set(results.backends) == {"naive", "fast"}
+    assert set(results.backends) == {"naive", "fast", "threaded"}
     # The vectorized backend must beat the Python-loop oracle at any
     # scale where kernel work is non-trivial.
     assert results.speedup > 1.0
+    # The fused memory kernel must beat the five-op composition; at
+    # medium scale the acceptance bar is 2x.
+    floor = 2.0 if scale["preset"] == "medium" else 1.0
+    assert results.fused_speedup > floor
+    assert set(results.dtype_sweep) == {"float64", "float32"}

@@ -19,6 +19,8 @@ from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.precision import get_dtype
+
 _GRAD_ENABLED = True
 
 
@@ -45,12 +47,18 @@ def no_grad():
 
 
 def _as_array(data) -> np.ndarray:
-    """Coerce ``data`` to a float64 numpy array (the engine's dtype)."""
+    """Coerce ``data`` to the engine's active floating dtype.
+
+    The dtype is governed by :mod:`repro.engine.precision` — ``float64``
+    by default, ``float32`` when opted in via ``set_dtype`` /
+    ``REPRO_ENGINE_DTYPE``.
+    """
+    dtype = get_dtype()
     if isinstance(data, np.ndarray):
-        if data.dtype != np.float64:
-            return data.astype(np.float64)
+        if data.dtype != dtype:
+            return data.astype(dtype)
         return data
-    return np.asarray(data, dtype=np.float64)
+    return np.asarray(data, dtype=dtype)
 
 
 class Tensor:
@@ -59,7 +67,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; coerced to ``float64``.
+        Array-like payload; coerced to the active engine dtype
+        (:func:`repro.engine.precision.get_dtype`, ``float64`` default).
     requires_grad:
         If ``True``, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -151,7 +160,7 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.asarray(grad, dtype=np.float64).copy()
+            self.grad = np.asarray(grad, dtype=self.data.dtype).copy()
         else:
             self.grad += grad
 

@@ -1,12 +1,17 @@
 """The propagation engine: one substrate under every model's hot path.
 
-Four layers (bottom to top):
+Five layers (bottom to top):
 
+* :mod:`repro.engine.precision` — the engine-wide dtype policy
+  (``float64`` default, opt-in ``float32`` via :func:`set_dtype` /
+  ``REPRO_ENGINE_DTYPE``) and dtype-derived comparison tolerances;
 * :mod:`repro.engine.backends` — pluggable sparse kernel backends
-  (``"naive"`` loop oracle, ``"fast"`` vectorized CSR), selected via
-  :func:`set_backend` / ``REPRO_ENGINE_BACKEND``;
+  (``"naive"`` loop oracle, ``"fast"`` vectorized CSR, ``"threaded"``
+  row-block-parallel spmm), selected via :func:`set_backend` /
+  ``REPRO_ENGINE_BACKEND``;
 * :mod:`repro.engine.adjcache` — normalized adjacencies memoized by
-  matrix identity + scheme, so every matrix normalizes once per run;
+  matrix identity + scheme + dtype, so every matrix normalizes once
+  per run;
 * :mod:`repro.engine.propagate` — the shared :class:`LayerStack`
   pattern and the single :func:`bpr_terms` BPR implementation;
 * :mod:`repro.engine.instrument` — per-kernel counters (calls, nnz,
@@ -29,11 +34,19 @@ from repro.engine.backends import (
     FastBackend,
     KernelBackend,
     NaiveBackend,
+    ThreadedBackend,
     available_backends,
     get_backend,
     register_backend,
     set_backend,
     use_backend,
+)
+from repro.engine.precision import (
+    Tolerances,
+    get_dtype,
+    set_dtype,
+    tolerances,
+    use_dtype,
 )
 
 __all__ = [
@@ -42,16 +55,22 @@ __all__ = [
     "KernelBackend",
     "LayerStack",
     "NaiveBackend",
+    "ThreadedBackend",
+    "Tolerances",
     "available_backends",
     "bpr_terms",
     "cached_transpose",
     "get_backend",
     "get_cache",
+    "get_dtype",
     "instrument",
     "normalized",
     "register_backend",
     "set_backend",
+    "set_dtype",
+    "tolerances",
     "use_backend",
+    "use_dtype",
 ]
 
 

@@ -13,6 +13,11 @@ induced subgraphs do not accumulate).
 Every lookup is counted in :mod:`repro.engine.instrument` — the
 hit/miss/normalization counters are how the tests *prove* normalization
 runs once per (matrix, scheme) per training run.
+
+Cache keys include the active engine dtype
+(:func:`repro.engine.precision.get_dtype`), so normalized views built
+under ``float32`` and ``float64`` coexist without one precision leaking
+into computations running at the other.
 """
 
 from __future__ import annotations
@@ -20,10 +25,10 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, Optional, Tuple
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.engine.instrument import counters
+from repro.engine.precision import get_dtype
 
 
 def _scheme_builders() -> Dict[str, Callable[[sp.spmatrix], sp.csr_matrix]]:
@@ -50,14 +55,15 @@ _TRANSPOSE_SCHEME = "__transpose__"
 class AdjacencyCache:
     """Identity-keyed memo of derived sparse matrices.
 
-    Keys are ``(id(matrix), scheme)``.  Identity keying is safe because a
-    weak reference with an eviction callback is kept per source matrix:
-    when the matrix dies, all of its entries are dropped before its id
-    can be reused.
+    Keys are ``(id(matrix), scheme, dtype)``.  Identity keying is safe
+    because a weak reference with an eviction callback is kept per source
+    matrix: when the matrix dies, all of its entries are dropped before
+    its id can be reused.  The dtype component is the active engine
+    precision at lookup time, so float32 and float64 views never collide.
     """
 
     def __init__(self):
-        self._store: Dict[Tuple[int, str], sp.csr_matrix] = {}
+        self._store: Dict[Tuple[int, str, str], sp.csr_matrix] = {}
         self._watchers: Dict[int, weakref.ref] = {}
         self.hits = 0
         self.misses = 0
@@ -85,7 +91,8 @@ class AdjacencyCache:
         callable is given (used for the paper's joint-degree scalings,
         whose normalizers need degree vectors beyond the matrix itself).
         """
-        key = (id(matrix), scheme)
+        dtype = get_dtype()
+        key = (id(matrix), scheme, dtype.name)
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1
@@ -100,7 +107,7 @@ class AdjacencyCache:
                                f"known: {sorted(builders)} (or pass builder=)")
             builder = builders[scheme]
         counters().record_normalization()
-        result = sp.csr_matrix(builder(matrix), dtype=np.float64)
+        result = sp.csr_matrix(builder(matrix), dtype=dtype)
         result.sort_indices()
         self._watch(matrix)
         self._store[key] = result
@@ -112,7 +119,7 @@ class AdjacencyCache:
         Used by the spmm backward pass — the seed rebuilt this on every
         forward call.  Not counted as a normalization.
         """
-        key = (id(matrix), _TRANSPOSE_SCHEME)
+        key = (id(matrix), _TRANSPOSE_SCHEME, matrix.dtype.name)
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1

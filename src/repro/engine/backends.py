@@ -1,23 +1,33 @@
 """Pluggable kernel backends for all sparse propagation math.
 
-Every neighbourhood aggregation in the repository bottoms out in three
+Every neighbourhood aggregation in the repository bottoms out in four
 kernel families — sparse-matrix × dense-matrix products (``spmm``),
 gathered row-wise dot products (the SDDMM-style kernel behind BPR
-scoring), and segment reductions over explicit edge lists.  This module
-owns those kernels behind a :class:`KernelBackend` interface so there is
-exactly one place to optimize every model's hot path:
+scoring), segment reductions over explicit edge lists, and the fused
+memory-mixture transform behind DGNN's Eq. 3
+(``out[n] = Σ_m gates[n, m] · (embeddings[n] @ transforms[m])``).  This
+module owns those kernels behind a :class:`KernelBackend` interface so
+there is exactly one place to optimize every model's hot path:
 
 * ``"naive"`` — transparent Python-loop reference implementations; the
-  correctness oracle the parity test suite checks ``"fast"`` against.
+  correctness oracle the parity test suite checks the others against.
 * ``"fast"``  — vectorized CSR kernels (scipy's compiled spmm, fused
-  einsum gather+dot, ``np.add.at`` scatter reductions).
+  einsum gather+dot, ``np.add.at`` scatter reductions, the memory
+  mixture as ``|M|`` BLAS GEMMs with ``(n, d)`` temporaries only).
+* ``"threaded"`` — ``"fast"`` plus an spmm that chunks CSR row blocks
+  (nnz-balanced) across a ``ThreadPoolExecutor``; numpy and scipy
+  release the GIL inside their compiled kernels, so row blocks overlap
+  on multi-core hosts.  Worker count comes from ``REPRO_ENGINE_THREADS``
+  (default: CPU count).
 
 The active backend is selected with :func:`set_backend`, the
 :func:`use_backend` context manager, or the ``REPRO_ENGINE_BACKEND``
 environment variable at import time; :mod:`repro.autograd.ops` routes
-``spmm`` / ``segment_sum`` / ``gathered_rowwise_dot`` through it.  Each
-dispatch records call counts, nonzeros and a dense-FLOP estimate in
-:mod:`repro.engine.instrument`.
+``spmm`` / ``segment_sum`` / ``gathered_rowwise_dot`` /
+``memory_mixture`` through it.  Each dispatch records call counts,
+nonzeros and a dense-FLOP estimate in :mod:`repro.engine.instrument`.
+Kernels compute in the dtype of their inputs; the engine-wide precision
+policy lives in :mod:`repro.engine.precision`.
 """
 
 from __future__ import annotations
@@ -25,7 +35,8 @@ from __future__ import annotations
 import contextlib
 import os
 import time
-from typing import Dict, Iterator, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -38,7 +49,9 @@ class KernelBackend:
 
     Subclasses implement the ``_``-prefixed kernels on plain numpy
     arrays; the public methods time each call and feed the global
-    counters.  All inputs and outputs are ``float64``.
+    counters.  Kernels preserve the floating dtype of their inputs
+    (``float64`` by default, ``float32`` under the opt-in precision
+    policy of :mod:`repro.engine.precision`).
     """
 
     name = "abstract"
@@ -84,7 +97,8 @@ class KernelBackend:
         """Mean of rows of ``values`` sharing a segment id (empty → 0)."""
         start = time.perf_counter()
         sums = self._segment_sum(values, segment_ids, num_segments)
-        sizes = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+        sizes = np.bincount(segment_ids,
+                            minlength=num_segments).astype(values.dtype)
         scale = np.divide(1.0, sizes, out=np.zeros_like(sizes),
                           where=sizes > 0)
         out = sums * scale.reshape((num_segments,) + (1,) * (sums.ndim - 1))
@@ -92,6 +106,44 @@ class KernelBackend:
         counters().record_kernel("segment_mean", time.perf_counter() - start,
                                  flops=float(values.shape[0]) * width)
         return out
+
+    def memory_mixture(self, embeddings: np.ndarray, gates: np.ndarray,
+                       transforms: np.ndarray) -> np.ndarray:
+        """Fused gated mixture-of-transforms (DGNN Eq. 3 forward).
+
+        ``embeddings`` is ``(n, d)``, ``gates`` is ``(n, M)`` and
+        ``transforms`` is ``(M, d, d)``; the result is
+        ``out[n] = Σ_m gates[n, m] · (embeddings[n] @ transforms[m])``,
+        computed without materializing ``(n, M, d)`` per-unit
+        temporaries.
+        """
+        start = time.perf_counter()
+        out = self._memory_mixture(embeddings, gates, transforms)
+        units, dim = transforms.shape[0], transforms.shape[1]
+        counters().record_kernel(
+            "memory_mixture", time.perf_counter() - start,
+            flops=2.0 * embeddings.shape[0] * units * dim * dim)
+        return out
+
+    def memory_mixture_backward(
+            self, grad_out: np.ndarray, embeddings: np.ndarray,
+            gates: np.ndarray, transforms: np.ndarray,
+            needs: Tuple[bool, bool, bool] = (True, True, True),
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """Hand-written backward of :meth:`memory_mixture`.
+
+        Returns ``(grad_embeddings, grad_gates, grad_transforms)``;
+        entries whose ``needs`` flag is ``False`` are skipped and
+        returned as ``None``.
+        """
+        start = time.perf_counter()
+        grads = self._memory_mixture_backward(grad_out, embeddings, gates,
+                                              transforms, needs)
+        units, dim = transforms.shape[0], transforms.shape[1]
+        counters().record_kernel(
+            "memory_mixture_backward", time.perf_counter() - start,
+            flops=2.0 * sum(needs) * embeddings.shape[0] * units * dim * dim)
+        return grads
 
     # -- kernels to implement ------------------------------------------
     def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
@@ -101,6 +153,13 @@ class KernelBackend:
         raise NotImplementedError
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
+        raise NotImplementedError
+
+    def _memory_mixture(self, embeddings, gates, transforms) -> np.ndarray:
+        raise NotImplementedError
+
+    def _memory_mixture_backward(self, grad_out, embeddings, gates,
+                                 transforms, needs):
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -114,7 +173,8 @@ class NaiveBackend(KernelBackend):
 
     def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
-        out = np.zeros((matrix.shape[0],) + dense.shape[1:], dtype=np.float64)
+        out = np.zeros((matrix.shape[0],) + dense.shape[1:],
+                       dtype=np.result_type(matrix.dtype, dense.dtype))
         for row in range(matrix.shape[0]):
             start, stop = indptr[row], indptr[row + 1]
             for position in range(start, stop):
@@ -122,17 +182,50 @@ class NaiveBackend(KernelBackend):
         return out
 
     def _gathered_rowwise_dot(self, a, a_indices, b, b_indices) -> np.ndarray:
-        out = np.zeros(len(a_indices), dtype=np.float64)
+        out = np.zeros(len(a_indices), dtype=np.result_type(a.dtype, b.dtype))
         for position in range(len(a_indices)):
-            out[position] = float(
-                np.dot(a[a_indices[position]], b[b_indices[position]]))
+            out[position] = np.dot(a[a_indices[position]],
+                                   b[b_indices[position]])
         return out
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
-        out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+        out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
         for position in range(values.shape[0]):
             out[segment_ids[position]] += values[position]
         return out
+
+    def _memory_mixture(self, embeddings, gates, transforms) -> np.ndarray:
+        num_nodes = embeddings.shape[0]
+        num_units = transforms.shape[0]
+        out = np.zeros_like(embeddings)
+        for node in range(num_nodes):
+            mixed = np.zeros_like(transforms[0])
+            for unit in range(num_units):
+                mixed += gates[node, unit] * transforms[unit]
+            out[node] = embeddings[node] @ mixed
+        return out
+
+    def _memory_mixture_backward(self, grad_out, embeddings, gates,
+                                 transforms, needs):
+        num_nodes = embeddings.shape[0]
+        num_units = transforms.shape[0]
+        grad_emb = np.zeros_like(embeddings) if needs[0] else None
+        grad_gates = np.zeros_like(gates) if needs[1] else None
+        grad_transforms = np.zeros_like(transforms) if needs[2] else None
+        for node in range(num_nodes):
+            if needs[0]:
+                mixed = np.zeros_like(transforms[0])
+                for unit in range(num_units):
+                    mixed += gates[node, unit] * transforms[unit]
+                grad_emb[node] = mixed @ grad_out[node]
+            for unit in range(num_units):
+                if needs[1]:
+                    grad_gates[node, unit] = (
+                        embeddings[node] @ transforms[unit] @ grad_out[node])
+                if needs[2]:
+                    grad_transforms[unit] += gates[node, unit] * np.outer(
+                        embeddings[node], grad_out[node])
+        return grad_emb, grad_gates, grad_transforms
 
 
 class FastBackend(KernelBackend):
@@ -147,8 +240,98 @@ class FastBackend(KernelBackend):
         return np.einsum("nd,nd->n", a[a_indices], b[b_indices])
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
-        out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+        out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
         np.add.at(out, segment_ids, values)
+        return out
+
+    def _memory_mixture(self, embeddings, gates, transforms) -> np.ndarray:
+        # |M| BLAS GEMMs with (n, d) temporaries only.  On this op shape
+        # (small d, M ~ 8) the loop-of-GEMMs beats a single einsum by an
+        # order of magnitude because einsum cannot route it through BLAS.
+        out = gates[:, 0:1] * (embeddings @ transforms[0])
+        for unit in range(1, transforms.shape[0]):
+            out += gates[:, unit:unit + 1] * (embeddings @ transforms[unit])
+        return out
+
+    def _memory_mixture_backward(self, grad_out, embeddings, gates,
+                                 transforms, needs):
+        grad_emb = np.zeros_like(embeddings) if needs[0] else None
+        grad_gates = np.zeros_like(gates) if needs[1] else None
+        grad_transforms = np.zeros_like(transforms) if needs[2] else None
+        for unit in range(transforms.shape[0]):
+            if needs[0] or needs[1]:
+                g_wt = grad_out @ transforms[unit].T
+            if needs[0]:
+                grad_emb += gates[:, unit:unit + 1] * g_wt
+            if needs[1]:
+                grad_gates[:, unit] = np.einsum("ni,ni->n", embeddings, g_wt)
+            if needs[2]:
+                grad_transforms[unit] = (
+                    embeddings * gates[:, unit:unit + 1]).T @ grad_out
+        return grad_emb, grad_gates, grad_transforms
+
+
+class ThreadedBackend(FastBackend):
+    """``"fast"`` kernels plus a row-block-parallel spmm.
+
+    CSR rows are split into nnz-balanced contiguous blocks and each
+    block's product runs on a ``ThreadPoolExecutor`` worker.  scipy's
+    compiled spmm releases the GIL, so blocks genuinely overlap on
+    multi-core hosts; per-row accumulation order is unchanged by the
+    blocking, so results are bitwise identical to ``"fast"``.  Worker
+    count comes from ``REPRO_ENGINE_THREADS`` (default: CPU count).
+    Matrices below ``min_parallel_nnz`` nonzeros skip the pool — thread
+    dispatch would cost more than it saves.
+    """
+
+    name = "threaded"
+
+    def __init__(self, workers: Optional[int] = None,
+                 min_parallel_nnz: int = 20_000):
+        env = os.environ.get("REPRO_ENGINE_THREADS")
+        if workers is None:
+            workers = int(env) if env else (os.cpu_count() or 1)
+        self.workers = max(1, workers)
+        self.min_parallel_nnz = min_parallel_nnz
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-spmm")
+        return self._pool
+
+    @staticmethod
+    def _row_blocks(indptr: np.ndarray, workers: int) -> np.ndarray:
+        """Row boundaries splitting the matrix into nnz-balanced blocks."""
+        nnz = int(indptr[-1])
+        targets = np.linspace(0, nnz, workers + 1)
+        bounds = np.searchsorted(indptr, targets, side="left")
+        bounds[0], bounds[-1] = 0, len(indptr) - 1
+        return np.unique(bounds)
+
+    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+        if self.workers == 1 or matrix.nnz < self.min_parallel_nnz:
+            return matrix @ dense
+        bounds = self._row_blocks(matrix.indptr, self.workers)
+        if len(bounds) < 3:  # degenerate split — single block
+            return matrix @ dense
+        out = np.empty((matrix.shape[0],) + dense.shape[1:],
+                       dtype=np.result_type(matrix.dtype, dense.dtype))
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+
+        def run_block(lo: int, hi: int) -> None:
+            s0, s1 = indptr[lo], indptr[hi]
+            block = sp.csr_matrix(
+                (data[s0:s1], indices[s0:s1], indptr[lo:hi + 1] - s0),
+                shape=(hi - lo, matrix.shape[1]), copy=False)
+            out[lo:hi] = block @ dense
+
+        futures = [self._executor().submit(run_block, int(lo), int(hi))
+                   for lo, hi in zip(bounds[:-1], bounds[1:])]
+        for future in futures:
+            future.result()
         return out
 
 
@@ -163,6 +346,7 @@ def register_backend(backend: KernelBackend) -> KernelBackend:
 
 register_backend(NaiveBackend())
 register_backend(FastBackend())
+register_backend(ThreadedBackend())
 
 
 def available_backends() -> Dict[str, KernelBackend]:

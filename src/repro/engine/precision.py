@@ -1,0 +1,96 @@
+"""Engine-wide floating-point precision policy.
+
+Everything numeric in the repository — tensors, parameters, normalized
+adjacencies, optimizer state — historically hard-coded ``float64``.
+That is the right default for a reproduction (gradcheck tolerances stay
+tight, parity suites compare at 1e-12), but it doubles the memory
+bandwidth of every kernel on the hot path.  This module makes the dtype
+a single explicit policy instead of a scattered constant:
+
+* ``float64`` remains the default;
+* ``float32`` is opt-in via :func:`set_dtype`, the :func:`use_dtype`
+  context manager, or the ``REPRO_ENGINE_DTYPE`` environment variable
+  read at import time;
+* :func:`tolerances` derives parity/gradcheck tolerances from the
+  active dtype, so test suites and benchmarks compare at the precision
+  the engine actually computes in.
+
+The policy is consulted at *creation* time: tensors, parameters and
+cached adjacencies built while a dtype is active carry that dtype.
+Switching mid-run does not retroactively convert live arrays — build
+models and graphs inside :func:`use_dtype` (the adjacency cache keys on
+dtype, so cached views of the two precisions never collide).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Iterator, NamedTuple, Union
+
+import numpy as np
+
+_DTYPES: Dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+DTypeLike = Union[str, type, np.dtype]
+
+
+def _resolve(dtype: DTypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved.name not in _DTYPES:
+        raise ValueError(f"unsupported engine dtype {dtype!r}; "
+                         f"known: {sorted(_DTYPES)}")
+    return resolved
+
+
+_ACTIVE: np.dtype = _resolve(os.environ.get("REPRO_ENGINE_DTYPE", "float64"))
+
+
+def get_dtype() -> np.dtype:
+    """The active engine dtype (``float64`` unless opted down)."""
+    return _ACTIVE
+
+
+def set_dtype(dtype: DTypeLike) -> np.dtype:
+    """Select the active engine dtype by name or numpy dtype; returns it."""
+    global _ACTIVE
+    _ACTIVE = _resolve(dtype)
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the engine dtype inside a ``with`` block."""
+    previous = get_dtype()
+    active = set_dtype(dtype)
+    try:
+        yield active
+    finally:
+        set_dtype(previous)
+
+
+class Tolerances(NamedTuple):
+    """Comparison tolerances appropriate for one floating dtype."""
+
+    atol: float
+    rtol: float
+    grad_atol: float
+    grad_rtol: float
+
+
+_TOLERANCES: Dict[str, Tolerances] = {
+    # float64: kernels agree to near machine precision; gradcheck uses
+    # the repository's historical central-difference tolerances.
+    "float64": Tolerances(atol=1e-10, rtol=1e-8, grad_atol=1e-4, grad_rtol=1e-4),
+    # float32: ~7 significant digits; accumulated reductions lose a few.
+    "float32": Tolerances(atol=1e-4, rtol=1e-3, grad_atol=1e-2, grad_rtol=1e-2),
+}
+
+
+def tolerances(dtype: DTypeLike = None) -> Tolerances:
+    """Parity/gradcheck tolerances for ``dtype`` (active dtype if ``None``)."""
+    resolved = get_dtype() if dtype is None else _resolve(dtype)
+    return _TOLERANCES[resolved.name]

@@ -45,15 +45,23 @@ def full_ranking_ranks(model, split: Split, batch_size: int = 256,
         users = users[chosen]
         positives = positives[chosen]
 
-    train_matrix = split.train_matrix().tolil()
+    train_matrix = split.train_matrix().tocsr()
+    train_matrix.sort_indices()
+    indptr, indices = train_matrix.indptr, train_matrix.indices
     ranks = np.empty(len(users), dtype=np.float64)
     for start in range(0, len(users), batch_size):
         block_users = users[start:start + batch_size]
         block_positives = positives[start:start + batch_size]
         scores = user_emb[block_users] @ item_emb.T  # (b, num_items)
         if mask_train:
-            for row, user in enumerate(block_users):
-                scores[row, train_matrix.rows[user]] = -np.inf
+            # Ragged CSR gather: flatten every block user's training-item
+            # list into one (row, col) index pair set — no per-user loop.
+            counts = indptr[block_users + 1] - indptr[block_users]
+            rows = np.repeat(np.arange(len(block_users)), counts)
+            offsets = (np.arange(int(counts.sum()))
+                       - np.repeat(np.cumsum(counts) - counts, counts))
+            cols = indices[np.repeat(indptr[block_users], counts) + offsets]
+            scores[rows, cols] = -np.inf
         positive_scores = scores[np.arange(len(block_users)), block_positives]
         better = (scores > positive_scores[:, None]).sum(axis=1)
         ties = (scores == positive_scores[:, None]).sum(axis=1) - 1

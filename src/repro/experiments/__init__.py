@@ -44,7 +44,11 @@ from repro.experiments.efficiency import (
 )
 from repro.experiments.engine_bench import (
     EngineBenchResults,
+    run_dtype_sweep,
+    run_engine_suite,
     run_engine_throughput,
+    run_memory_kernel_bench,
+    run_thread_sweep,
 )
 from repro.experiments.embedding_viz import (
     EmbeddingVizResults,
@@ -74,7 +78,11 @@ __all__ = [
     "run_efficiency_comparison",
     "run_convergence_comparison",
     "EngineBenchResults",
+    "run_dtype_sweep",
+    "run_engine_suite",
     "run_engine_throughput",
+    "run_memory_kernel_bench",
+    "run_thread_sweep",
     "EmbeddingVizResults",
     "run_embedding_visualization",
     "MemoryVizResults",

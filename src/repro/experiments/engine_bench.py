@@ -1,15 +1,24 @@
-"""Propagation-engine throughput benchmark: naive vs fast backends.
+"""Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Trains the same DGNN configuration once per kernel backend and compares
-epochs per second, using the engine's own instrumentation for the
-operation-level numbers (spmm calls, nnz processed, adjacency-cache
-hits).  The result is written to ``BENCH_engine.json`` so the backend
-speedup is recorded alongside the repository's other benchmark
-artifacts.
+Four sweeps, each answering one question about the engine's hot path:
 
-The naive backend is the pure-Python loop oracle — it exists for parity
-testing, and this benchmark documents what the vectorized fast backend
-buys over it on a mid-scale graph.
+* :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
+  (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
+  row-block-parallel spmm), with the engine's own instrumentation for
+  the operation-level numbers.
+* :func:`run_memory_kernel_bench` — forward+backward seconds of the
+  fused ``memory_mixture`` kernel against the generic five-op
+  composition it replaced, on the full DGNN BPR step.
+* :func:`run_dtype_sweep` — epochs/sec under the ``float64`` default vs
+  the opt-in ``float32`` precision policy.
+* :func:`run_thread_sweep` — spmm wall time of the threaded backend at
+  several worker counts (informational on single-core hosts).
+
+:func:`run_engine_suite` runs all four and persists them under one
+preset key in ``BENCH_engine.json``.  The artifact groups results by
+preset — ``{"presets": {"tiny": {...}, "medium": {...}}}`` — and writes
+merge on top of the existing file, so a tiny-scale smoke refresh never
+clobbers the committed medium-scale numbers.
 """
 
 from __future__ import annotations
@@ -18,23 +27,30 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.engine import get_cache, instrument, use_backend
+import numpy as np
+
+from repro.engine import get_cache, instrument, use_backend, use_dtype
+from repro.engine.backends import ThreadedBackend
 from repro.experiments.common import ExperimentContext, default_train_config
 from repro.models import create_model
+from repro.models.memory import use_fused_memory
 from repro.train import Trainer
 
-BACKENDS = ("naive", "fast")
+BACKENDS = ("naive", "fast", "threaded")
 
 
 @dataclass
 class EngineBenchResults:
-    """Throughput and kernel counters per backend."""
+    """Throughput, kernel, dtype and thread numbers for one preset."""
 
     dataset_name: str
     epochs: int
     backends: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    memory_kernel: Dict[str, float] = field(default_factory=dict)
+    dtype_sweep: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    thread_sweep: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -44,6 +60,11 @@ class EngineBenchResults:
         if naive <= 0:
             return float("inf") if fast > 0 else 0.0
         return fast / naive
+
+    @property
+    def fused_speedup(self) -> float:
+        """Fused-over-unfused memory-mixture ratio on forward+backward."""
+        return self.memory_kernel.get("fused_speedup", 0.0)
 
     def render(self) -> str:
         lines = [f"Engine throughput — {self.dataset_name}, "
@@ -60,6 +81,20 @@ class EngineBenchResults:
                 f"{stats.get('cache_hits', 0.0):>12.0f}"
                 f"{stats.get('normalizations', 0.0):>11.0f}")
         lines.append(f"speedup (fast/naive): {self.speedup:.2f}x")
+        if self.memory_kernel:
+            lines.append(
+                f"memory kernel (fwd+bwd): fused "
+                f"{self.memory_kernel['fused_seconds']*1e3:.2f} ms, unfused "
+                f"{self.memory_kernel['unfused_seconds']*1e3:.2f} ms — "
+                f"{self.fused_speedup:.2f}x")
+        if self.dtype_sweep:
+            pieces = [f"{name} {stats['epochs_per_sec']:.2f} ep/s"
+                      for name, stats in self.dtype_sweep.items()]
+            lines.append("dtype sweep: " + ", ".join(pieces))
+        if self.thread_sweep:
+            pieces = [f"{workers}w {seconds*1e3:.2f} ms"
+                      for workers, seconds in self.thread_sweep.items()]
+            lines.append("threaded spmm: " + ", ".join(pieces))
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -68,11 +103,29 @@ class EngineBenchResults:
             "epochs": self.epochs,
             "backends": self.backends,
             "speedup_fast_over_naive": self.speedup,
+            "memory_kernel": self.memory_kernel,
+            "dtype_sweep": self.dtype_sweep,
+            "thread_sweep": self.thread_sweep,
         }
 
-    def write_json(self, path: Path) -> Path:
+    def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
+        """Persist under ``presets[preset]``, merging with the existing file.
+
+        Other presets' sections are preserved, so refreshing the tiny
+        smoke numbers leaves the committed medium numbers intact.
+        """
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        preset = preset or self.dataset_name
+        payload: Dict[str, object] = {"presets": {}}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                existing = {}
+            if isinstance(existing.get("presets"), dict):
+                payload["presets"] = existing["presets"]
+        payload["presets"][preset] = self.to_dict()
+        path.write_text(json.dumps(payload, indent=2) + "\n")
         return path
 
 
@@ -93,7 +146,7 @@ def run_engine_throughput(
     identical workload; evaluation is held to a single pass at the end
     and excluded from the timing (``mean_train_seconds``).  Pass
     ``output_path`` to also persist the result as JSON
-    (``BENCH_engine.json`` by convention).
+    (``BENCH_engine.json`` by convention; merged per preset).
     """
     if context is None:
         context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
@@ -106,7 +159,7 @@ def run_engine_throughput(
     for backend in backends:
         # Cold start per backend: fresh graph (its normalized views are
         # cached_property attributes) and a cleared adjacency cache, so
-        # both backends pay — and count — identical normalization work.
+        # all backends pay — and count — identical normalization work.
         graph = context.variant_graph()
         get_cache().clear()
         instrument.reset_counters()
@@ -127,5 +180,155 @@ def run_engine_throughput(
         stats.update(history.total_kernel_counters())
         results.backends[backend] = stats
     if output_path is not None:
-        results.write_json(Path(output_path))
+        results.write_json(Path(output_path), preset=preset)
+    return results
+
+
+def _bpr_step_seconds(model, users, positives, negatives,
+                      repeats: int, l2: float = 1e-4) -> float:
+    """Best-of-``repeats`` wall time of one full BPR forward+backward."""
+    best = float("inf")
+    for _ in range(repeats):
+        model.zero_grad()
+        start = time.perf_counter()
+        loss = model.bpr_loss(users, positives, negatives, l2=l2)
+        loss.backward()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_memory_kernel_bench(
+        preset: str = "medium",
+        batch_size: int = 512,
+        embed_dim: int = 16,
+        num_layers: int = 2,
+        repeats: int = 3,
+        seed: int = 0,
+        context: Optional[ExperimentContext] = None) -> Dict[str, float]:
+    """Fused vs unfused memory-mixture on the DGNN forward+backward.
+
+    The same model instance and triple batch run under both paths
+    (toggled with :func:`repro.models.memory.use_fused_memory`), so the
+    only difference is the mixture implementation.  Returns best-of-N
+    seconds per step for each path plus their ratio.
+    """
+    from repro.data.sampling import BprSampler
+
+    if context is None:
+        context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+    model = create_model("dgnn", context.graph, embed_dim=embed_dim,
+                         seed=seed, num_layers=num_layers)
+    sampler = BprSampler(context.split, batch_size=batch_size, seed=seed)
+    users, positives, negatives = sampler.sample()
+    with use_fused_memory(False):
+        unfused = _bpr_step_seconds(model, users, positives, negatives, repeats)
+    with use_fused_memory(True):
+        fused = _bpr_step_seconds(model, users, positives, negatives, repeats)
+    return {
+        "fused_seconds": fused,
+        "unfused_seconds": unfused,
+        "fused_speedup": unfused / fused if fused > 0 else float("inf"),
+    }
+
+
+def run_dtype_sweep(
+        preset: str = "medium",
+        epochs: int = 1,
+        batches_per_epoch: Optional[int] = 4,
+        batch_size: int = 512,
+        embed_dim: int = 16,
+        num_layers: int = 2,
+        seed: int = 0,
+        dtypes: Sequence[str] = ("float64", "float32"),
+        context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, float]]:
+    """DGNN training throughput under each engine dtype (fast backend).
+
+    The graph is rebuilt inside each dtype context so normalized
+    adjacencies, parameters and optimizer state all carry that dtype.
+    """
+    if context is None:
+        context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+    config = default_train_config(
+        epochs=epochs, batch_size=batch_size,
+        batches_per_epoch=batches_per_epoch, eval_every=max(epochs, 1),
+        patience=None, seed=seed)
+    sweep: Dict[str, Dict[str, float]] = {}
+    for dtype in dtypes:
+        with use_dtype(dtype), use_backend("fast"):
+            graph = context.variant_graph()
+            get_cache().clear()
+            instrument.reset_counters()
+            model = create_model("dgnn", graph, embed_dim=embed_dim,
+                                 seed=seed, num_layers=num_layers)
+            trainer = Trainer(model, context.split, config, context.candidates)
+            history = trainer.fit()
+        seconds_per_epoch = history.mean_train_seconds()
+        sweep[dtype] = {
+            "seconds_per_epoch": seconds_per_epoch,
+            "epochs_per_sec": (1.0 / seconds_per_epoch
+                               if seconds_per_epoch > 0 else 0.0),
+            "best_hr": max((m.get("hr@10", 0.0) for m in history.metrics),
+                           default=0.0),
+        }
+    return sweep
+
+
+def run_thread_sweep(
+        preset: str = "medium",
+        embed_dim: int = 16,
+        repeats: int = 5,
+        workers: Sequence[int] = (1, 2, 4),
+        seed: int = 0,
+        context: Optional[ExperimentContext] = None) -> Dict[str, float]:
+    """Threaded-spmm wall time on the joint adjacency at worker counts.
+
+    Times the raw kernel (best of ``repeats``) rather than a training
+    run, so the measurement isolates the spmm itself.  On single-core
+    hosts this documents the dispatch overhead rather than a speedup.
+    """
+    if context is None:
+        context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+    matrix = context.graph.bipartite_norm
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((matrix.shape[1], embed_dim))
+    sweep: Dict[str, float] = {}
+    for count in workers:
+        backend = ThreadedBackend(workers=count, min_parallel_nnz=0)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            backend._spmm(matrix, dense)
+            best = min(best, time.perf_counter() - start)
+        sweep[str(count)] = best
+    return sweep
+
+
+def run_engine_suite(
+        preset: str = "medium",
+        epochs: int = 2,
+        batches_per_epoch: Optional[int] = 4,
+        batch_size: int = 512,
+        embed_dim: int = 16,
+        num_layers: int = 2,
+        seed: int = 0,
+        backends: Sequence[str] = BACKENDS,
+        output_path: Optional[Path] = None) -> EngineBenchResults:
+    """All four engine sweeps on one shared context; optionally persisted."""
+    context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+    results = run_engine_throughput(
+        preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
+        batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
+        seed=seed, backends=backends, context=context)
+    results.memory_kernel = run_memory_kernel_bench(
+        preset=preset, batch_size=batch_size, embed_dim=embed_dim,
+        num_layers=num_layers, seed=seed, context=context)
+    results.dtype_sweep = run_dtype_sweep(
+        preset=preset, epochs=1, batches_per_epoch=batches_per_epoch,
+        batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
+        seed=seed, context=context)
+    results.thread_sweep = run_thread_sweep(
+        preset=preset, embed_dim=embed_dim, seed=seed, context=context)
+    if output_path is not None:
+        results.write_json(Path(output_path), preset=preset)
     return results

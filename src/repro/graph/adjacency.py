@@ -2,7 +2,14 @@
 
 These are the *builders*; models should not call them per batch.  The
 memoizing layer (:mod:`repro.engine.adjcache`) invokes them once per
-``(matrix, scheme)`` and hands out the cached CSR result afterwards.
+``(matrix, scheme, dtype)`` and hands out the cached CSR result afterwards.
+
+Canonicalization follows the engine precision policy
+(:mod:`repro.engine.precision`): matrices are coerced to CSR with sorted
+indices in the *active* engine dtype — float64 unless the run opted down
+to float32.  ``as_csr64`` / ``assert_csr64`` keep their historical names
+(the canonical dtype was hard-coded float64 before the policy existed)
+but now mean "canonical CSR in the engine dtype".
 """
 
 from __future__ import annotations
@@ -10,21 +17,23 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.engine.precision import get_dtype
+
 
 def as_csr64(matrix: sp.spmatrix) -> sp.csr_matrix:
-    """Coerce to the repository's canonical format: CSR, float64, sorted."""
-    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    """Coerce to canonical format: CSR, engine dtype, sorted indices."""
+    matrix = sp.csr_matrix(matrix, dtype=get_dtype())
     matrix.sort_indices()
     return matrix
 
 
 def assert_csr64(matrix: sp.spmatrix, name: str = "matrix") -> sp.csr_matrix:
-    """Raise unless ``matrix`` already is canonical CSR/float64."""
+    """Raise unless ``matrix`` already is canonical CSR in the engine dtype."""
     if not sp.issparse(matrix) or matrix.format != "csr":
         raise TypeError(f"{name} must be a CSR matrix, got "
                         f"{getattr(matrix, 'format', type(matrix).__name__)!r}")
-    if matrix.dtype != np.float64:
-        raise TypeError(f"{name} must be float64, got {matrix.dtype}")
+    if matrix.dtype != get_dtype():
+        raise TypeError(f"{name} must be {get_dtype().name}, got {matrix.dtype}")
     return matrix
 
 
@@ -34,7 +43,7 @@ def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
     This is the ``1/|N(t)|`` mean-aggregation normalization the paper uses
     in Eqs. 4–6.
     """
-    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    matrix = sp.csr_matrix(matrix, dtype=get_dtype())
     row_sums = np.asarray(matrix.sum(axis=1)).reshape(-1)
     inverse = np.zeros_like(row_sums)
     nonzero = row_sums > 0
@@ -44,7 +53,7 @@ def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
 
 def symmetric_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
     """Apply ``D^{-1/2} A D^{-1/2}`` (the GCN / LightGCN normalization)."""
-    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    matrix = sp.csr_matrix(matrix, dtype=get_dtype())
     degrees = np.asarray(matrix.sum(axis=1)).reshape(-1)
     inv_sqrt = np.zeros_like(degrees)
     nonzero = degrees > 0
@@ -55,7 +64,7 @@ def symmetric_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
 
 def add_self_loops(matrix: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
     """Return ``A + weight * I`` for a square sparse matrix."""
-    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    matrix = sp.csr_matrix(matrix, dtype=get_dtype())
     if matrix.shape[0] != matrix.shape[1]:
         raise ValueError("self loops require a square matrix")
     return (matrix + weight * sp.eye(matrix.shape[0], format="csr")).tocsr()
@@ -68,7 +77,7 @@ def bipartite_norm_adjacency(interaction: sp.spmatrix) -> sp.csr_matrix:
     ``(I+J, I+J)`` matrix ``D^{-1/2} [[0, R], [R^T, 0]] D^{-1/2}`` used by
     NGCF / GCCF / LightGCN-style collaborative filtering.
     """
-    interaction = sp.csr_matrix(interaction, dtype=np.float64)
+    interaction = sp.csr_matrix(interaction, dtype=get_dtype())
     num_users, num_items = interaction.shape
     upper = sp.hstack([sp.csr_matrix((num_users, num_users)), interaction])
     lower = sp.hstack([interaction.T, sp.csr_matrix((num_items, num_items))])

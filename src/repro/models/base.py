@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.engine.backends import get_backend
 from repro.engine.propagate import bpr_terms
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.nn.module import Module
@@ -96,19 +97,29 @@ class Recommender(Module):
         """Dot-product scores for per-user candidate item lists.
 
         ``users`` is ``(n,)`` and ``items`` is ``(n, c)``; the result has
-        shape ``(n, c)``.
+        shape ``(n, c)``.  Dispatched through the active backend's
+        ``gathered_rowwise_dot`` kernel, so evaluation scoring shows up
+        in kernel instrumentation alongside training.
         """
         user_emb, item_emb = self.final_embeddings()
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
-        gathered_users = user_emb[users]  # (n, d)
-        gathered_items = item_emb[items]  # (n, c, d)
-        return np.einsum("nd,ncd->nc", gathered_users, gathered_items)
+        num_candidates = items.shape[1]
+        flat = get_backend().gathered_rowwise_dot(
+            user_emb, np.repeat(users, num_candidates),
+            item_emb, items.reshape(-1))
+        return flat.reshape(len(users), num_candidates)
 
     def score_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        """Dot-product scores for aligned ``(user, item)`` arrays."""
+        """Dot-product scores for aligned ``(user, item)`` arrays.
+
+        Routed through the backend's ``gathered_rowwise_dot`` (same
+        kernel the BPR loss uses) for instrumentation parity.
+        """
         user_emb, item_emb = self.final_embeddings()
-        return np.sum(user_emb[np.asarray(users)] * item_emb[np.asarray(items)], axis=1)
+        return get_backend().gathered_rowwise_dot(
+            user_emb, np.asarray(users, dtype=np.int64),
+            item_emb, np.asarray(items, dtype=np.int64))
 
     def recommend(self, user: int, top_n: int = 10,
                   exclude_train: bool = True) -> np.ndarray:

@@ -19,9 +19,18 @@ provided:
 Both factor the per-edge transform out of the neighbour sum (the gates
 are per-node, not per-edge), which is what makes DGNN cheaper than
 HGT-style per-edge attention — the property behind Table IV.
+
+The mixture itself runs through the fused ``memory_mixture`` backend
+kernel (one graph node, hand-written backward) rather than the generic
+five-op composition; :func:`set_fused_memory` switches back to the
+unfused path, which is kept as the benchmark baseline and gradcheck
+reference.
 """
 
 from __future__ import annotations
+
+import contextlib
+from typing import Iterator
 
 import numpy as np
 import scipy.sparse as sp
@@ -30,6 +39,31 @@ from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+
+_FUSED = True
+
+
+def fused_memory_enabled() -> bool:
+    """Whether :meth:`MemoryBank.mixture_transform` uses the fused kernel."""
+    return _FUSED
+
+
+def set_fused_memory(enabled: bool) -> bool:
+    """Toggle the fused memory-mixture kernel globally; returns the value."""
+    global _FUSED
+    _FUSED = bool(enabled)
+    return _FUSED
+
+
+@contextlib.contextmanager
+def use_fused_memory(enabled: bool) -> Iterator[bool]:
+    """Temporarily force the fused (or unfused) mixture inside a block."""
+    previous = fused_memory_enabled()
+    set_fused_memory(enabled)
+    try:
+        yield enabled
+    finally:
+        set_fused_memory(previous)
 
 
 class MemoryBank(Module):
@@ -76,8 +110,23 @@ class MemoryBank(Module):
         """Apply the gated mixture ``(Σ_m gates_m W¹_m)`` to ``embeddings``.
 
         ``embeddings`` is ``(n, d)`` and ``gates`` is ``(n, |M|)``; the
-        result is ``(n, d)``.  Implemented as one matmul against the
-        flattened unit transforms so the whole batch stays vectorized.
+        result is ``(n, d)``.  Dispatched as the fused ``memory_mixture``
+        backend kernel — one autograd node, no ``(n, |M|, d)``
+        temporaries — unless :func:`set_fused_memory` has switched the
+        module back to the generic five-op composition.
+        """
+        if fused_memory_enabled():
+            return ops.memory_mixture(embeddings, gates, self.transforms)
+        return self._mixture_transform_unfused(embeddings, gates)
+
+    def _mixture_transform_unfused(self, embeddings: Tensor,
+                                   gates: Tensor) -> Tensor:
+        """The original generic-op composition of the mixture.
+
+        Kept as the benchmark baseline and the reference the fused kernel
+        is gradchecked against: one matmul against the flattened unit
+        transforms, then a gated reduction over the ``(n, |M|, d)``
+        per-unit activations.
         """
         n = embeddings.shape[0]
         # (M, d, d) -> (d, M*d): unit transforms side by side.

@@ -1,7 +1,11 @@
 """Weight initializers.
 
 All initializers take an explicit ``numpy.random.Generator`` so that every
-model in the repository is reproducible from a single seed.
+model in the repository is reproducible from a single seed.  Random draws
+always consume the generator stream in float64 — so the same seed yields
+the same weights (up to rounding) under either precision policy — and the
+result is cast to the active engine dtype
+(:func:`repro.engine.precision.get_dtype`).
 """
 
 from __future__ import annotations
@@ -9,6 +13,8 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from repro.engine.precision import get_dtype
 
 
 def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -25,7 +31,7 @@ def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
     """Glorot/Xavier uniform initialization."""
     fan_in, fan_out = _fan_in_out(tuple(shape))
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_dtype(), copy=False)
 
 
 def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
@@ -33,20 +39,20 @@ def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
     """Glorot/Xavier normal initialization."""
     fan_in, fan_out = _fan_in_out(tuple(shape))
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_dtype(), copy=False)
 
 
 def normal(shape: Tuple[int, ...], rng: np.random.Generator,
            std: float = 0.1) -> np.ndarray:
     """Zero-mean Gaussian initialization (embedding tables)."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_dtype(), copy=False)
 
 
 def zeros(shape: Tuple[int, ...]) -> np.ndarray:
     """All-zero initialization (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_dtype())
 
 
 def ones(shape: Tuple[int, ...]) -> np.ndarray:
     """All-one initialization (LayerNorm scales)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_dtype())

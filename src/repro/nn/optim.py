@@ -2,6 +2,11 @@
 
 The paper optimizes with Adam (Section V-A4); SGD is provided for the
 algorithm box (Alg. 1) and for tests that need predictable dynamics.
+
+Optimizer state (momentum / first and second moments) is allocated with
+``np.zeros_like(param.data)``, so it follows each parameter's dtype —
+under the float32 precision policy (:mod:`repro.engine.precision`) the
+whole optimizer state halves along with the parameters.
 """
 
 from __future__ import annotations

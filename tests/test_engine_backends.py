@@ -1,9 +1,10 @@
-"""Parity suite: the fast backend must match the naive loop oracle.
+"""Parity suite: every backend must match the naive loop oracle.
 
 Three levels: raw kernels (forward values), autograd ops built on them
 (gradients, including finite-difference checks), and end-to-end models
 (final embeddings, loss values and one full Adam step for DGNN plus four
-baselines).
+baselines).  ``threaded`` inherits all fast kernels and overrides spmm
+with a row-block-parallel version, so it runs the same gauntlet.
 """
 
 import numpy as np
@@ -12,9 +13,11 @@ import scipy.sparse as sp
 
 from repro.autograd import Tensor, gradcheck, no_grad, ops
 from repro.engine import available_backends, get_backend, set_backend, use_backend
+from repro.engine.backends import ThreadedBackend
 from repro.models import create_model
 from repro.nn.optim import Adam
 
+ALL_BACKENDS = ("naive", "fast", "threaded")
 PARITY_MODELS = ("dgnn", "lightgcn", "ngcf", "diffnet", "mhcn")
 
 
@@ -25,9 +28,9 @@ def _random_csr(rng, rows, cols, density=0.2):
 
 
 class TestKernelParity:
-    def test_registry_contains_both(self):
+    def test_registry_contains_all(self):
         names = set(available_backends())
-        assert {"naive", "fast"} <= names
+        assert {"naive", "fast", "threaded"} <= names
 
     def test_use_backend_restores(self):
         before = get_backend().name
@@ -43,11 +46,26 @@ class TestKernelParity:
         matrix = _random_csr(rng, 17, 11)
         dense = rng.normal(size=(11, 5))
         outputs = {}
-        for name in ("naive", "fast"):
+        for name in ALL_BACKENDS:
             with use_backend(name):
                 outputs[name] = get_backend().spmm(matrix, dense)
-        np.testing.assert_allclose(outputs["naive"], outputs["fast"],
-                                   atol=1e-12)
+        for name in ALL_BACKENDS[1:]:
+            np.testing.assert_allclose(outputs["naive"], outputs[name],
+                                       atol=1e-12, err_msg=name)
+
+    def test_threaded_spmm_uses_row_blocks(self, rng):
+        """Force the pool on and check block results match the plain product."""
+        matrix = _random_csr(rng, 64, 40, density=0.3)
+        dense = rng.normal(size=(40, 6))
+        backend = ThreadedBackend(workers=3, min_parallel_nnz=0)
+        np.testing.assert_array_equal(backend._spmm(matrix, dense),
+                                      matrix @ dense)
+
+    def test_threaded_row_blocks_cover_all_rows(self, rng):
+        matrix = _random_csr(rng, 50, 20, density=0.15)
+        bounds = ThreadedBackend._row_blocks(matrix.indptr, 4)
+        assert bounds[0] == 0 and bounds[-1] == matrix.shape[0]
+        assert np.all(np.diff(bounds) > 0)
 
     def test_gathered_rowwise_dot_parity(self, rng):
         a = rng.normal(size=(9, 6))
@@ -55,35 +73,36 @@ class TestKernelParity:
         ai = rng.integers(0, 9, size=25).astype(np.int64)
         bi = rng.integers(0, 13, size=25).astype(np.int64)
         outputs = {}
-        for name in ("naive", "fast"):
+        for name in ALL_BACKENDS:
             with use_backend(name):
                 outputs[name] = get_backend().gathered_rowwise_dot(a, ai, b, bi)
-        np.testing.assert_allclose(outputs["naive"], outputs["fast"],
-                                   atol=1e-12)
         expected = np.sum(a[ai] * b[bi], axis=1)
-        np.testing.assert_allclose(outputs["fast"], expected, atol=1e-12)
+        for name in ALL_BACKENDS:
+            np.testing.assert_allclose(outputs[name], expected, atol=1e-12,
+                                       err_msg=name)
 
     def test_segment_reductions_parity(self, rng):
         values = rng.normal(size=(20, 4))
         ids = rng.integers(0, 6, size=20).astype(np.int64)
         for method in ("segment_sum", "segment_mean"):
             outputs = {}
-            for name in ("naive", "fast"):
+            for name in ALL_BACKENDS:
                 with use_backend(name):
                     outputs[name] = getattr(get_backend(), method)(values, ids, 6)
-            np.testing.assert_allclose(outputs["naive"], outputs["fast"],
-                                       atol=1e-12)
+            for name in ALL_BACKENDS[1:]:
+                np.testing.assert_allclose(outputs["naive"], outputs[name],
+                                           atol=1e-12, err_msg=f"{method}/{name}")
 
 
 class TestOpGradParity:
-    @pytest.mark.parametrize("backend", ["naive", "fast"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_spmm_gradcheck(self, backend, rng):
         matrix = _random_csr(rng, 7, 5)
         dense = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
         with use_backend(backend):
             assert gradcheck(lambda d: ops.sum(ops.spmm(matrix, d)), [dense])
 
-    @pytest.mark.parametrize("backend", ["naive", "fast"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_gathered_rowwise_dot_gradcheck(self, backend, rng):
         a = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
         b = Tensor(rng.normal(size=(8, 4)), requires_grad=True)
@@ -110,12 +129,14 @@ class TestOpGradParity:
         matrix = _random_csr(rng, 12, 9)
         values = rng.normal(size=(9, 4))
         grads = {}
-        for name in ("naive", "fast"):
+        for name in ALL_BACKENDS:
             dense = Tensor(values.copy(), requires_grad=True)
             with use_backend(name):
                 ops.sum(ops.spmm(matrix, dense)).backward()
             grads[name] = dense.grad
-        np.testing.assert_allclose(grads["naive"], grads["fast"], atol=1e-12)
+        for name in ALL_BACKENDS[1:]:
+            np.testing.assert_allclose(grads["naive"], grads[name],
+                                       atol=1e-12, err_msg=name)
 
 
 def _batch(graph, rng, size=12):
@@ -130,20 +151,22 @@ class TestModelParity:
     @pytest.mark.parametrize("model_name", PARITY_MODELS)
     def test_final_embeddings_parity(self, model_name, tiny_graph):
         embeddings = {}
-        for backend in ("naive", "fast"):
+        for backend in ALL_BACKENDS:
             with use_backend(backend):
                 model = create_model(model_name, tiny_graph, embed_dim=8, seed=0)
                 with no_grad():
                     users, items = model.propagate()
                 embeddings[backend] = (users.data.copy(), items.data.copy())
-        for side in (0, 1):
-            np.testing.assert_allclose(embeddings["naive"][side],
-                                       embeddings["fast"][side], atol=1e-8)
+        for backend in ALL_BACKENDS[1:]:
+            for side in (0, 1):
+                np.testing.assert_allclose(embeddings["naive"][side],
+                                           embeddings[backend][side],
+                                           atol=1e-8, err_msg=backend)
 
     @pytest.mark.parametrize("model_name", PARITY_MODELS)
     def test_one_training_step_parity(self, model_name, tiny_graph):
         snapshots = {}
-        for backend in ("naive", "fast"):
+        for backend in ALL_BACKENDS:
             rng = np.random.default_rng(3)
             users, positives, negatives = _batch(tiny_graph, rng)
             with use_backend(backend):
@@ -154,16 +177,17 @@ class TestModelParity:
                 optimizer.step()
                 snapshots[backend] = (float(loss.data), model.state_dict())
         loss_naive, state_naive = snapshots["naive"]
-        loss_fast, state_fast = snapshots["fast"]
-        assert abs(loss_naive - loss_fast) < 1e-8
-        assert set(state_naive) == set(state_fast)
-        for name in state_naive:
-            np.testing.assert_allclose(state_naive[name], state_fast[name],
-                                       atol=1e-8, err_msg=name)
+        for backend in ALL_BACKENDS[1:]:
+            loss_other, state_other = snapshots[backend]
+            assert abs(loss_naive - loss_other) < 1e-8
+            assert set(state_naive) == set(state_other)
+            for name in state_naive:
+                np.testing.assert_allclose(state_naive[name], state_other[name],
+                                           atol=1e-8, err_msg=f"{backend}/{name}")
 
     def test_dgnn_sampled_loss_parity(self, tiny_graph):
         losses = {}
-        for backend in ("naive", "fast"):
+        for backend in ALL_BACKENDS:
             rng = np.random.default_rng(5)
             users, positives, negatives = _batch(tiny_graph, rng)
             with use_backend(backend):
@@ -171,4 +195,5 @@ class TestModelParity:
                 loss = model.bpr_loss_sampled(users, positives, negatives,
                                               seed=11)
                 losses[backend] = float(loss.data)
-        assert abs(losses["naive"] - losses["fast"]) < 1e-8
+        for backend in ALL_BACKENDS[1:]:
+            assert abs(losses["naive"] - losses[backend]) < 1e-8

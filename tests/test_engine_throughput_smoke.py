@@ -1,36 +1,61 @@
-"""Smoke-scale engine throughput run — tier-1 keeps BENCH_engine.json fresh.
+"""Smoke-scale engine throughput run — validates the bench harness end to end.
 
-The full-size comparison lives in ``benchmarks/test_engine_throughput.py``;
-this test runs the identical harness at tiny scale so every test-suite run
-re-validates the naive/fast plumbing end to end and refreshes the JSON
-artifact at the repository root.
+The full-size comparison lives in ``benchmarks/test_engine_throughput.py``
+and writes the repository-root ``BENCH_engine.json``; this test runs the
+identical harness at tiny scale into a temporary file, so every tier-1 run
+re-validates the naive/fast/threaded plumbing and the per-preset
+merge-on-write semantics of the artifact without touching the committed
+numbers.
 """
 
 import json
-from pathlib import Path
 
 import pytest
 
 from repro.experiments.engine_bench import run_engine_throughput
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
 
 @pytest.mark.engine_throughput
-def test_engine_throughput_smoke():
-    output = REPO_ROOT / "BENCH_engine.json"
+def test_engine_throughput_smoke(tmp_path):
+    output = tmp_path / "BENCH_engine.json"
     results = run_engine_throughput(
         preset="tiny", epochs=1, batches_per_epoch=2, batch_size=128,
         embed_dim=8, num_layers=1, output_path=output)
 
-    assert set(results.backends) == {"naive", "fast"}
+    assert set(results.backends) == {"naive", "fast", "threaded"}
     for stats in results.backends.values():
         assert stats["epochs_per_sec"] > 0
         assert stats["calls.spmm"] > 0
-    # Identical workload under both backends: same kernel call counts.
-    assert (results.backends["naive"]["calls.spmm"]
-            == results.backends["fast"]["calls.spmm"])
+        assert stats["calls.memory_mixture"] > 0
+    # Identical workload under all backends: same kernel call counts.
+    for key in ("calls.spmm", "calls.memory_mixture"):
+        assert (results.backends["naive"][key]
+                == results.backends["fast"][key]
+                == results.backends["threaded"][key])
 
     payload = json.loads(output.read_text())
-    assert payload["dataset"] == "tiny"
-    assert payload["speedup_fast_over_naive"] == pytest.approx(results.speedup)
+    assert set(payload["presets"]) == {"tiny"}
+    section = payload["presets"]["tiny"]
+    assert section["dataset"] == "tiny"
+    assert section["speedup_fast_over_naive"] == pytest.approx(results.speedup)
+
+
+@pytest.mark.engine_throughput
+def test_bench_artifact_merges_per_preset(tmp_path):
+    """Writing one preset must not clobber another preset's section."""
+    from repro.experiments.engine_bench import EngineBenchResults
+
+    output = tmp_path / "BENCH_engine.json"
+    first = EngineBenchResults(dataset_name="medium", epochs=2,
+                               backends={"fast": {"epochs_per_sec": 10.0,
+                                                  "seconds_per_epoch": 0.1}})
+    first.write_json(output, preset="medium")
+    second = EngineBenchResults(dataset_name="tiny", epochs=1,
+                                backends={"fast": {"epochs_per_sec": 50.0,
+                                                   "seconds_per_epoch": 0.02}})
+    second.write_json(output, preset="tiny")
+
+    payload = json.loads(output.read_text())
+    assert set(payload["presets"]) == {"medium", "tiny"}
+    assert (payload["presets"]["medium"]["backends"]["fast"]["epochs_per_sec"]
+            == 10.0)
