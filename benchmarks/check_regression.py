@@ -36,6 +36,11 @@ _THROUGHPUT_KEYS = ("epochs_per_sec",)
 # Workload metrics: identical configs must do identical kernel work.
 _EXACT_KEYS = ("calls.spmm", "calls.gathered_rowwise_dot",
                "calls.memory_mixture")
+# Minibatch-section metrics: all higher-is-better ratios/rates.  Covers
+# the full-vs-sampled epoch rate, the speedup of the sampled path over
+# full-graph propagation, and the vectorized-expansion speedup over the
+# loop oracle.
+_MINIBATCH_KEYS = ("epochs_per_sec", "speedup_over_full", "speedup")
 
 
 def _presets(payload: Dict) -> Dict[str, Dict]:
@@ -80,6 +85,23 @@ def compare(baseline: Dict, fresh: Dict,
                     problems.append(
                         f"{preset}/{backend}: {key} changed "
                         f"({old:.0f} -> {new:.0f}) — workload drift")
+        base_mini = base_presets[preset].get("minibatch", {})
+        fresh_mini = fresh_presets[preset].get("minibatch", {})
+        for mode in sorted(set(base_mini) & set(fresh_mini)):
+            base_stats = base_mini[mode]
+            fresh_stats = fresh_mini[mode]
+            if not isinstance(base_stats, dict) or not isinstance(fresh_stats, dict):
+                continue
+            for key in _MINIBATCH_KEYS:
+                old = base_stats.get(key)
+                new = fresh_stats.get(key)
+                if not old or new is None:
+                    continue
+                drop = (old - new) / old
+                if drop > threshold:
+                    problems.append(
+                        f"{preset}/minibatch/{mode}: {key} regressed "
+                        f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
     return problems
 
 

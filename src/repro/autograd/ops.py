@@ -305,10 +305,23 @@ def gather_rows(a, indices) -> Tensor:
     """Gather rows ``a[indices]`` for an integer index array.
 
     Equivalent to an embedding lookup; the backward pass scatter-adds the
-    incoming gradient into the selected rows.
+    incoming gradient into the selected rows.  Both halves dispatch
+    through the active kernel backend (``gather_rows`` /
+    ``scatter_add_rows``), so minibatch seed gathering is visible to the
+    engine counters and optimizable per backend.
     """
+    a = as_tensor(a)
     indices = np.asarray(indices, dtype=np.int64)
-    return getitem(a, indices)
+    data = get_backend().gather_rows(a.data, indices)
+
+    def factory(out: Tensor):
+        def backward():
+            a._accumulate(get_backend().scatter_add_rows(
+                out.grad, indices, a.shape[0]))
+
+        return backward
+
+    return Tensor._make(data, (a,), factory)
 
 
 def gathered_rowwise_dot(a, b, a_indices, b_indices) -> Tensor:

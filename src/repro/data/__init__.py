@@ -16,6 +16,7 @@ from repro.data.synthetic import (
     epinions_small,
     yelp_small,
     medium,
+    large,
     tiny,
     PRESETS,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "epinions_small",
     "yelp_small",
     "medium",
+    "large",
     "tiny",
     "PRESETS",
     "Split",

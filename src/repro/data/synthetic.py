@@ -295,6 +295,21 @@ def medium(seed: int = 0, **overrides) -> InteractionDataset:
     return generate_dataset(replace(config, **overrides) if overrides else config)
 
 
+def large(seed: int = 0, **overrides) -> InteractionDataset:
+    """Large-scale profile for the minibatch-vs-full-graph benchmark.
+
+    Big enough that full-graph propagation per BPR batch is clearly
+    dominated by nodes outside the batch's neighbourhood — the regime
+    the sampled minibatch path is built for.  Deliberately only used by
+    opt-in benchmarks, not the tier-1 test suite.
+    """
+    config = SyntheticConfig(
+        num_users=4000, num_items=12000, num_relations=24,
+        num_communities=16, mean_interactions=12.0, mean_social_degree=8.0,
+        homophily=0.85, seed=seed, name="large")
+    return generate_dataset(replace(config, **overrides) if overrides else config)
+
+
 def tiny(seed: int = 0, **overrides) -> InteractionDataset:
     """A miniature dataset for unit tests (sub-second end-to-end runs)."""
     config = SyntheticConfig(
@@ -309,5 +324,6 @@ PRESETS = {
     "epinions-small": epinions_small,
     "yelp-small": yelp_small,
     "medium": medium,
+    "large": large,
     "tiny": tiny,
 }

@@ -82,6 +82,38 @@ class KernelBackend:
             flops=2.0 * len(a_indices) * a.shape[1])
         return out
 
+    def gather_rows(self, table: np.ndarray,
+                    indices: np.ndarray) -> np.ndarray:
+        """Row gather ``table[indices]`` — the embedding-lookup kernel.
+
+        The forward half of minibatch seed gathering: sampled paths pull
+        the subgraph's rows out of the global embedding tables through
+        this kernel so the engine counters see lookup traffic alongside
+        spmm traffic.
+        """
+        start = time.perf_counter()
+        out = self._gather_rows(table, indices)
+        width = int(np.prod(table.shape[1:])) if table.ndim > 1 else 1
+        counters().record_kernel("gather_rows", time.perf_counter() - start,
+                                 flops=float(indices.size) * width)
+        return out
+
+    def scatter_add_rows(self, grad: np.ndarray, indices: np.ndarray,
+                         num_rows: int) -> np.ndarray:
+        """Scatter-add rows into a fresh ``(num_rows, ...)`` array.
+
+        The backward half of :meth:`gather_rows`: duplicated indices
+        accumulate, which routes subgraph gradients back to the global
+        embedding tables.
+        """
+        start = time.perf_counter()
+        out = self._scatter_add_rows(grad, indices, num_rows)
+        width = int(np.prod(grad.shape[indices.ndim:])) if grad.ndim else 1
+        counters().record_kernel(
+            "scatter_add_rows", time.perf_counter() - start,
+            flops=float(indices.size) * width)
+        return out
+
     def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray,
                     num_segments: int) -> np.ndarray:
         """Sum rows of ``values`` sharing a segment id."""
@@ -152,6 +184,12 @@ class KernelBackend:
     def _gathered_rowwise_dot(self, a, a_indices, b, b_indices) -> np.ndarray:
         raise NotImplementedError
 
+    def _gather_rows(self, table, indices) -> np.ndarray:
+        raise NotImplementedError
+
+    def _scatter_add_rows(self, grad, indices, num_rows) -> np.ndarray:
+        raise NotImplementedError
+
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
         raise NotImplementedError
 
@@ -186,6 +224,21 @@ class NaiveBackend(KernelBackend):
         for position in range(len(a_indices)):
             out[position] = np.dot(a[a_indices[position]],
                                    b[b_indices[position]])
+        return out
+
+    def _gather_rows(self, table, indices) -> np.ndarray:
+        flat = indices.reshape(-1)
+        out = np.zeros((len(flat),) + table.shape[1:], dtype=table.dtype)
+        for position in range(len(flat)):
+            out[position] = table[flat[position]]
+        return out.reshape(indices.shape + table.shape[1:])
+
+    def _scatter_add_rows(self, grad, indices, num_rows) -> np.ndarray:
+        flat = indices.reshape(-1)
+        rows = grad.reshape((len(flat),) + grad.shape[indices.ndim:])
+        out = np.zeros((num_rows,) + rows.shape[1:], dtype=grad.dtype)
+        for position in range(len(flat)):
+            out[flat[position]] += rows[position]
         return out
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
@@ -238,6 +291,15 @@ class FastBackend(KernelBackend):
 
     def _gathered_rowwise_dot(self, a, a_indices, b, b_indices) -> np.ndarray:
         return np.einsum("nd,nd->n", a[a_indices], b[b_indices])
+
+    def _gather_rows(self, table, indices) -> np.ndarray:
+        return table[indices]
+
+    def _scatter_add_rows(self, grad, indices, num_rows) -> np.ndarray:
+        out = np.zeros((num_rows,) + grad.shape[indices.ndim:],
+                       dtype=grad.dtype)
+        np.add.at(out, indices, grad)
+        return out
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
         out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)

@@ -48,6 +48,7 @@ from repro.experiments.engine_bench import (
     run_engine_suite,
     run_engine_throughput,
     run_memory_kernel_bench,
+    run_minibatch_bench,
     run_thread_sweep,
 )
 from repro.experiments.embedding_viz import (
@@ -81,6 +82,7 @@ __all__ = [
     "run_dtype_sweep",
     "run_engine_suite",
     "run_engine_throughput",
+    "run_minibatch_bench",
     "run_memory_kernel_bench",
     "run_thread_sweep",
     "EmbeddingVizResults",

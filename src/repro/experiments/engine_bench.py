@@ -1,6 +1,6 @@
 """Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Four sweeps, each answering one question about the engine's hot path:
+Five sweeps, each answering one question about the engine's hot path:
 
 * :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
   (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
@@ -13,8 +13,11 @@ Four sweeps, each answering one question about the engine's hot path:
   the opt-in ``float32`` precision policy.
 * :func:`run_thread_sweep` — spmm wall time of the threaded backend at
   several worker counts (informational on single-core hosts).
+* :func:`run_minibatch_bench` — full-graph vs sampled-minibatch training
+  throughput at several fan-outs (prefetch on), plus a micro-benchmark
+  of the vectorized ``expand_neighborhood`` against its loop oracle.
 
-:func:`run_engine_suite` runs all four and persists them under one
+:func:`run_engine_suite` runs all five and persists them under one
 preset key in ``BENCH_engine.json``.  The artifact groups results by
 preset — ``{"presets": {"tiny": {...}, "medium": {...}}}`` — and writes
 merge on top of the existing file, so a tiny-scale smoke refresh never
@@ -51,6 +54,7 @@ class EngineBenchResults:
     memory_kernel: Dict[str, float] = field(default_factory=dict)
     dtype_sweep: Dict[str, Dict[str, float]] = field(default_factory=dict)
     thread_sweep: Dict[str, float] = field(default_factory=dict)
+    minibatch: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -95,6 +99,22 @@ class EngineBenchResults:
             pieces = [f"{workers}w {seconds*1e3:.2f} ms"
                       for workers, seconds in self.thread_sweep.items()]
             lines.append("threaded spmm: " + ", ".join(pieces))
+        if self.minibatch:
+            full = self.minibatch.get("full", {})
+            if full:
+                lines.append(
+                    f"minibatch: full-graph {full['epochs_per_sec']:.3f} ep/s")
+            for name, stats in self.minibatch.items():
+                if not name.startswith("fanout_"):
+                    continue
+                lines.append(
+                    f"  {name}: {stats['epochs_per_sec']:.3f} ep/s "
+                    f"({stats.get('speedup_over_full', 0.0):.2f}x over full)")
+            expand = self.minibatch.get("expand")
+            if expand:
+                lines.append(
+                    f"  expand_neighborhood fast-over-loop: "
+                    f"{expand['speedup']:.1f}x")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -106,13 +126,16 @@ class EngineBenchResults:
             "memory_kernel": self.memory_kernel,
             "dtype_sweep": self.dtype_sweep,
             "thread_sweep": self.thread_sweep,
+            "minibatch": self.minibatch,
         }
 
     def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
         """Persist under ``presets[preset]``, merging with the existing file.
 
         Other presets' sections are preserved, so refreshing the tiny
-        smoke numbers leaves the committed medium numbers intact.
+        smoke numbers leaves the committed medium numbers intact.  Within
+        a preset, sweeps this result did not run (empty dicts) keep their
+        existing values — a minibatch-only run updates just that section.
         """
         path = Path(path)
         preset = preset or self.dataset_name
@@ -124,7 +147,16 @@ class EngineBenchResults:
                 existing = {}
             if isinstance(existing.get("presets"), dict):
                 payload["presets"] = existing["presets"]
-        payload["presets"][preset] = self.to_dict()
+        section = self.to_dict()
+        previous = payload["presets"].get(preset)
+        if isinstance(previous, dict):
+            for key, value in list(section.items()):
+                not_run = (
+                    (isinstance(value, dict) and not value)
+                    or (key == "speedup_fast_over_naive" and not self.backends))
+                if not_run and key in previous:
+                    section[key] = previous[key]
+        payload["presets"][preset] = section
         path.write_text(json.dumps(payload, indent=2) + "\n")
         return path
 
@@ -304,6 +336,94 @@ def run_thread_sweep(
     return sweep
 
 
+def run_minibatch_bench(
+        preset: str = "medium",
+        epochs: int = 2,
+        batches_per_epoch: Optional[int] = 4,
+        batch_size: int = 512,
+        embed_dim: int = 16,
+        num_layers: int = 2,
+        fanouts: Sequence[int] = (5, 10, 20),
+        hops: Optional[int] = None,
+        expand_repeats: int = 3,
+        seed: int = 0,
+        context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Full-graph vs sampled-minibatch DGNN training throughput.
+
+    The identical workload (fast backend, same seeds, same triple
+    stream) trains once with ``propagation="full"`` and once per fan-out
+    with ``propagation="minibatch"`` (prefetch on), recording per-epoch
+    throughput plus the sample/compute time split that shows how much of
+    the subgraph-build cost the prefetch worker hides.  A final
+    micro-benchmark times the vectorized :func:`expand_neighborhood`
+    against its per-node loop oracle on one real training batch.
+    """
+    from repro.data.sampling import BprSampler
+    from repro.graph.sampling import (
+        expand_neighborhood,
+        expand_neighborhood_loop,
+    )
+
+    if context is None:
+        context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+
+    def _train(**overrides) -> Dict[str, float]:
+        graph = context.variant_graph()
+        get_cache().clear()
+        instrument.reset_counters()
+        config = default_train_config(
+            epochs=epochs, batch_size=batch_size,
+            batches_per_epoch=batches_per_epoch, eval_every=max(epochs, 1),
+            patience=None, seed=seed, **overrides)
+        with use_backend("fast"):
+            model = create_model("dgnn", graph, embed_dim=embed_dim,
+                                 seed=seed, num_layers=num_layers)
+            trainer = Trainer(model, context.split, config, context.candidates)
+            history = trainer.fit()
+        seconds_per_epoch = history.mean_train_seconds()
+        return {
+            "seconds_per_epoch": seconds_per_epoch,
+            "epochs_per_sec": (1.0 / seconds_per_epoch
+                               if seconds_per_epoch > 0 else 0.0),
+            "sample_seconds_per_epoch": history.mean_sample_seconds(),
+            "compute_seconds_per_epoch": history.mean_compute_seconds(),
+        }
+
+    section: Dict[str, Dict[str, float]] = {"full": _train()}
+    full_seconds = section["full"]["seconds_per_epoch"]
+    for fanout in fanouts:
+        stats = _train(propagation="minibatch", hops=hops, fanout=int(fanout))
+        stats["speedup_over_full"] = (
+            full_seconds / stats["seconds_per_epoch"]
+            if stats["seconds_per_epoch"] > 0 else float("inf"))
+        section[f"fanout_{int(fanout)}"] = stats
+
+    sampler = BprSampler(context.split, batch_size=batch_size, seed=seed)
+    users, positives, negatives = sampler.sample()
+    items = np.concatenate([positives, negatives])
+    # The tightest fan-out stresses the per-node subsampling, which is
+    # where the loop oracle pays a per-node rng.choice.
+    expand_fanout = int(min(fanouts)) if fanouts else 10
+    timings: Dict[str, float] = {}
+    for name, expand in (("fast", expand_neighborhood),
+                         ("loop", expand_neighborhood_loop)):
+        best = float("inf")
+        for _ in range(max(1, expand_repeats)):
+            start = time.perf_counter()
+            expand(context.graph, users, items, hops=2,
+                   fanout=expand_fanout, seed=seed)
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+    section["expand"] = {
+        "fast_seconds": timings["fast"],
+        "loop_seconds": timings["loop"],
+        "speedup": (timings["loop"] / timings["fast"]
+                    if timings["fast"] > 0 else float("inf")),
+    }
+    return section
+
+
 def run_engine_suite(
         preset: str = "medium",
         epochs: int = 2,
@@ -313,8 +433,9 @@ def run_engine_suite(
         num_layers: int = 2,
         seed: int = 0,
         backends: Sequence[str] = BACKENDS,
+        minibatch_fanouts: Sequence[int] = (5, 10, 20),
         output_path: Optional[Path] = None) -> EngineBenchResults:
-    """All four engine sweeps on one shared context; optionally persisted."""
+    """All five engine sweeps on one shared context; optionally persisted."""
     context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
     results = run_engine_throughput(
         preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
@@ -329,6 +450,10 @@ def run_engine_suite(
         seed=seed, context=context)
     results.thread_sweep = run_thread_sweep(
         preset=preset, embed_dim=embed_dim, seed=seed, context=context)
+    results.minibatch = run_minibatch_bench(
+        preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
+        batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
+        fanouts=minibatch_fanouts, seed=seed, context=context)
     if output_path is not None:
         results.write_json(Path(output_path), preset=preset)
     return results

@@ -213,6 +213,21 @@ class CollaborativeHeteroGraph:
         return self.normalized(self.item_relation, "row")
 
     @cached_property
+    def item_context(self) -> sp.csr_matrix:
+        """Item→item context operator through relation nodes (I-R-I).
+
+        ``item_relation_mean @ relation_item_mean``: every item mixes the
+        mean embedding of its relation nodes, each the mean over that
+        relation's items.  NGCF/GCCF used to compose this privately per
+        model instance; as a cached graph view it is built once and can
+        be row/column-sliced by :class:`~repro.graph.sampling.SubgraphView`.
+        """
+        return self.normalized(
+            self.item_relation, "item_context",
+            builder=lambda m: (self.item_relation_mean
+                               @ self.relation_item_mean).tocsr())
+
+    @cached_property
     def bipartite_norm(self) -> sp.csr_matrix:
         """Symmetric-normalized joint user–item adjacency for CF baselines."""
         return self.normalized(self.interaction, "bipartite",

@@ -1,28 +1,42 @@
-"""Neighbourhood-induced subgraphs for minibatch training.
+"""Neighbourhood sampling and subgraph views for minibatch training.
 
 Full-graph propagation per BPR batch (Alg. 1) is exact but scales with
 the whole graph.  For datasets the size of the paper's Epinions/Yelp a
 practical trainer propagates only over the batch's L-hop neighbourhood.
-This module provides:
+This module provides the three pieces of that pipeline:
 
 * :func:`expand_neighborhood` — grow a seed set of users/items through
   the social, interaction and item-relation edges for ``hops`` rounds,
-  optionally capping the per-node fan-out (uniform neighbour sampling);
-* :func:`induced_subgraph` — build a fully functional
-  :class:`~repro.graph.hetero.CollaborativeHeteroGraph` over the induced
-  node sets, plus the id maps back to the global graph.
+  optionally capping the per-node fan-out (uniform neighbour sampling).
+  The default implementation is fully vectorized (ragged CSR gathers +
+  lexsort-based fan-out subsampling); the original per-node Python loop
+  is kept as :func:`expand_neighborhood_loop`, the parity oracle.
+* :class:`SubgraphView` — a lightweight view of the induced subgraph
+  that *slices the parent graph's cached normalized adjacencies* row- and
+  column-wise in one ragged CSR pass.  No ``InteractionDataset`` or
+  ``CollaborativeHeteroGraph`` is rebuilt per batch, message weights keep
+  their full-graph normalizers (so the uncapped closure reproduces
+  full-graph propagation exactly), and only the adjacencies a model's
+  layer stack actually touches are materialized, lazily.
+* :func:`induced_subgraph` — the original heavyweight construction: a
+  fully functional :class:`~repro.graph.hetero.CollaborativeHeteroGraph`
+  over the induced node sets with normalizers recomputed on the *induced*
+  degrees (the GraphSAGE-style approximation).  Kept for ablations and as
+  the oracle the view tests compare structure against.
 
-The induced object exposes the same joint-normalized views, so any model
-layer written against the full graph runs on the subgraph unchanged
-(DGNN exposes this through ``propagate_on`` / ``bpr_loss_sampled``).
-Note the normalizers are computed on the *induced* degrees — the
-standard GraphSAGE-style approximation.
+One hop adds, per relation type: social neighbours of current users,
+items of current users, users of current items, and relation-co-members
+of current items (item → relation node → item, in one round — relation
+nodes themselves are few and are always all kept).  The co-membership
+round is what makes the uncapped closure exact for models whose relation
+nodes aggregate over *all* their items (DGNN Eq. 6, NGCF's I-R-I context
+channel).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -31,11 +45,20 @@ from repro.data.dataset import InteractionDataset
 from repro.engine.adjcache import cached_transpose
 from repro.graph.hetero import CollaborativeHeteroGraph
 
+_EMPTY = np.zeros(0, dtype=np.int64)
 
-def _neighbors(matrix: sp.csr_matrix, nodes: np.ndarray,
-               fanout: Optional[int],
-               rng: np.random.Generator) -> np.ndarray:
-    """Union of (possibly subsampled) neighbour sets of ``nodes``."""
+
+# ----------------------------------------------------------------------
+# Neighbour gathering: loop oracle and vectorized fast path
+# ----------------------------------------------------------------------
+def _neighbors_loop(matrix: sp.csr_matrix, nodes: np.ndarray,
+                    fanout: Optional[int],
+                    rng: np.random.Generator) -> np.ndarray:
+    """Union of (possibly subsampled) neighbour sets — per-node loop.
+
+    The transparent reference implementation; the vectorized fast path
+    must agree with it exactly when ``fanout`` is ``None``.
+    """
     collected = []
     indptr, indices = matrix.indptr, matrix.indices
     for node in nodes:
@@ -44,55 +67,373 @@ def _neighbors(matrix: sp.csr_matrix, nodes: np.ndarray,
             row = rng.choice(row, size=fanout, replace=False)
         collected.append(row)
     if not collected:
-        return np.zeros(0, dtype=np.int64)
+        return _EMPTY
     return np.unique(np.concatenate(collected)).astype(np.int64)
+
+
+def _ragged_gather(indptr: np.ndarray, nodes: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Positions of every CSR entry owned by ``nodes``, plus row layout.
+
+    Returns ``(positions, counts, offsets)`` where ``positions`` indexes
+    into the CSR ``indices``/``data`` arrays, ``counts[i]`` is node i's
+    degree and ``offsets[i]`` is its first slot in the gathered layout.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    total = int(counts.sum())
+    positions = (np.arange(total, dtype=np.int64)
+                 - np.repeat(offsets, counts)
+                 + np.repeat(indptr[nodes].astype(np.int64), counts))
+    return positions, counts, offsets
+
+
+def _sorted_unique(values: np.ndarray, domain: int) -> np.ndarray:
+    """Sorted unique ids via a bitmask over the (small) id domain.
+
+    O(domain + len(values)) instead of ``np.unique``'s sort — node id
+    domains are graph-sized, far smaller than the gathered edge lists.
+    """
+    mask = np.zeros(domain, dtype=bool)
+    mask[values] = True
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def _neighbors_fast(matrix: sp.csr_matrix, nodes: np.ndarray,
+                    fanout: Optional[int],
+                    rng: np.random.Generator) -> np.ndarray:
+    """Union of (possibly subsampled) neighbour sets — no Python loop.
+
+    All rows are gathered with one ragged CSR gather; fan-out capping
+    draws uniform random sort keys per edge and keeps each node's first
+    ``fanout`` edges in key order — uniform sampling without replacement
+    for every node simultaneously.
+    """
+    if len(nodes) == 0:
+        return _EMPTY
+    positions, counts, offsets = _ragged_gather(matrix.indptr, nodes)
+    if positions.size == 0:
+        return _EMPTY
+    if fanout is None or int(counts.max()) <= fanout:
+        return _sorted_unique(matrix.indices[positions], matrix.shape[1])
+    total = positions.size
+    # Composite sort key: the integer owner id majors, the random key in
+    # [0, 1) minors — one float argsort instead of a two-key lexsort.
+    owners = np.repeat(np.arange(len(nodes), dtype=np.float64), counts)
+    order = np.argsort(owners + rng.random(total))
+    # After the per-owner shuffle the group sizes are unchanged, so the
+    # rank of slot j within its owner is j - offsets[owner].
+    ranks = np.arange(total) - np.repeat(offsets, counts)
+    kept = positions[order[ranks < fanout]]
+    return _sorted_unique(matrix.indices[kept], matrix.shape[1])
+
+
+_NeighborFn = Callable[[sp.csr_matrix, np.ndarray, Optional[int],
+                        np.random.Generator], np.ndarray]
+
+
+def _expand(graph: CollaborativeHeteroGraph, seed_users: np.ndarray,
+            seed_items: np.ndarray, hops: int, fanout: Optional[int],
+            seed: int, neighbors: _NeighborFn
+            ) -> Tuple[np.ndarray, np.ndarray]:
+    """The shared hop rule, parameterized by the neighbour gatherer."""
+    rng = np.random.default_rng(seed)
+    users = np.unique(np.asarray(seed_users, dtype=np.int64))
+    items = np.unique(np.asarray(seed_items, dtype=np.int64))
+    # Matrices are canonically CSR already; transposes are memoized so
+    # repeated batch sampling does not rebuild them.
+    interaction = graph.interaction
+    interaction_t = cached_transpose(interaction)
+    social = graph.social
+    item_relation = graph.item_relation
+    relation_item = cached_transpose(item_relation)
+    user_mask = np.zeros(graph.num_users, dtype=bool)
+    item_mask = np.zeros(graph.num_items, dtype=bool)
+    for _ in range(hops):
+        social_users = neighbors(social, users, fanout, rng)
+        item_users = neighbors(interaction_t, items, fanout, rng)
+        relations = neighbors(item_relation, items, fanout, rng)
+        user_items = neighbors(interaction, users, fanout, rng)
+        relation_items = neighbors(relation_item, relations, fanout, rng)
+        # Mask-based unions: O(num nodes) and already sorted on read-out.
+        user_mask[users] = True
+        user_mask[social_users] = True
+        user_mask[item_users] = True
+        item_mask[items] = True
+        item_mask[user_items] = True
+        item_mask[relation_items] = True
+        users = np.flatnonzero(user_mask).astype(np.int64)
+        items = np.flatnonzero(item_mask).astype(np.int64)
+    return users, items
 
 
 def expand_neighborhood(graph: CollaborativeHeteroGraph,
                         seed_users: np.ndarray, seed_items: np.ndarray,
                         hops: int = 2, fanout: Optional[int] = None,
                         seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
-    """L-hop user/item closure of the seeds through Y and S.
+    """L-hop user/item closure of the seeds through ``S``, ``Y`` and ``T``.
 
     Each hop adds: social neighbours of current users, items of current
-    users, and users of current items.  (Relation nodes are few and are
-    always all kept, so they need no expansion.)  ``fanout`` caps the
+    users, users of current items, and relation-co-members of current
+    items (I → R → I in one round; relation nodes are few and are always
+    all kept, so they need no explicit tracking).  ``fanout`` caps the
     neighbours drawn per node per relation — uniform neighbour sampling.
+
+    Fully vectorized (ragged CSR gathers plus lexsort fan-out capping).
+    With ``fanout=None`` the result is identical to the per-node loop
+    oracle :func:`expand_neighborhood_loop`; with a fan-out cap both draw
+    valid uniform samples but consume randomness in different orders.
     """
-    rng = np.random.default_rng(seed)
-    users = np.unique(np.asarray(seed_users, dtype=np.int64))
-    items = np.unique(np.asarray(seed_items, dtype=np.int64))
-    # Matrices are canonically CSR already; the transpose is memoized so
-    # repeated batch sampling does not rebuild it (the seed paid a full
-    # T.tocsr() conversion per batch here).
-    interaction = graph.interaction
-    interaction_t = cached_transpose(graph.interaction)
-    social = graph.social
-    for _ in range(hops):
-        new_users = np.union1d(
-            _neighbors(social, users, fanout, rng),
-            _neighbors(interaction_t, items, fanout, rng))
-        new_items = _neighbors(interaction, users, fanout, rng)
-        users = np.union1d(users, new_users)
-        items = np.union1d(items, new_items)
-    return users, items
+    return _expand(graph, seed_users, seed_items, hops, fanout, seed,
+                   _neighbors_fast)
 
 
+def expand_neighborhood_loop(graph: CollaborativeHeteroGraph,
+                             seed_users: np.ndarray, seed_items: np.ndarray,
+                             hops: int = 2, fanout: Optional[int] = None,
+                             seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """The per-node-loop reference expansion — the parity oracle."""
+    return _expand(graph, seed_users, seed_items, hops, fanout, seed,
+                   _neighbors_loop)
+
+
+# ----------------------------------------------------------------------
+# Local id maps
+# ----------------------------------------------------------------------
+def _validated_local(sorted_ids: np.ndarray, queries: np.ndarray,
+                     kind: str) -> np.ndarray:
+    """Map sorted global ids to local rows, raising on absent members.
+
+    A bare ``np.searchsorted`` silently returns the insertion point for
+    ids missing from the induced set — an off-by-arbitrary local index
+    that corrupts the loss downstream.  Membership is validated here and
+    absence is a loud error.
+    """
+    queries = np.asarray(queries, dtype=np.int64)
+    local = np.minimum(np.searchsorted(sorted_ids, queries),
+                       len(sorted_ids) - 1)
+    bad = sorted_ids[local] != queries
+    if bad.any():
+        missing = np.unique(queries[bad])[:8]
+        raise KeyError(f"{kind} ids not present in the induced subgraph: "
+                       f"{missing.tolist()}")
+    return local
+
+
+def _local_lookup(ids: np.ndarray, size: int) -> np.ndarray:
+    """Dense global→local id table (``-1`` marks absent globals)."""
+    lut = np.full(size, -1, dtype=np.int64)
+    lut[ids] = np.arange(len(ids), dtype=np.int64)
+    return lut
+
+
+# ----------------------------------------------------------------------
+# Lightweight subgraph views (the fast minibatch path)
+# ----------------------------------------------------------------------
+def _induced_csr(matrix: sp.csr_matrix, rows: Optional[np.ndarray],
+                 col_lut: np.ndarray, num_cols: int) -> sp.csr_matrix:
+    """Slice ``matrix[rows][:, cols]`` in one ragged CSR pass.
+
+    ``rows=None`` keeps every row (used for relation-node rows, which
+    are never subsampled).  ``col_lut`` maps global column ids to local
+    ones with ``-1`` for columns outside the induced set.  Because the
+    induced id arrays are sorted, the local mapping preserves each row's
+    column order, so the result has sorted indices and per-row summation
+    order identical to the parent's — the property the exactness parity
+    tests rely on.
+    """
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    if rows is None:
+        num_rows = matrix.shape[0]
+        counts = np.diff(indptr)
+        gathered_cols = indices
+        gathered_data = data
+    else:
+        num_rows = len(rows)
+        positions, counts, _ = _ragged_gather(indptr, rows)
+        gathered_cols = indices[positions]
+        gathered_data = data[positions]
+    local_cols = col_lut[gathered_cols]
+    keep = local_cols >= 0
+    owners = np.repeat(np.arange(num_rows), counts)
+    kept_counts = np.bincount(owners[keep], minlength=num_rows)
+    new_indptr = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
+    return sp.csr_matrix(
+        (gathered_data[keep], local_cols[keep], new_indptr),
+        shape=(num_rows, num_cols))
+
+
+# Normalized views a SubgraphView can serve, with their row/column node
+# spaces.  Each is sliced from the *parent's* cached view of the same
+# name, lazily, on first attribute access.
+_VIEW_SPECS: Dict[str, Tuple[Optional[str], str]] = {
+    # DGNN (Eqs. 4-6, 9)
+    "user_social_joint": ("user", "user"),
+    "user_item_joint": ("user", "item"),
+    "item_user_joint": ("item", "user"),
+    "item_relation_joint": ("item", "relation"),
+    "relation_item_mean": (None, "item"),  # all relation rows kept
+    "social_self_loop_mean": ("user", "user"),
+    # Baselines
+    "user_item_mean": ("user", "item"),
+    "item_user_mean": ("item", "user"),
+    "social_mean": ("user", "user"),
+    "social_sym": ("user", "user"),
+    "item_relation_mean": ("item", "relation"),
+    "bipartite_norm": ("joint", "joint"),
+    "item_context": ("item", "item"),
+}
+
+
+class SubgraphView:
+    """Induced normalized adjacencies sliced straight from the parent.
+
+    The production minibatch path: where :func:`induced_subgraph`
+    rebuilds an :class:`InteractionDataset` plus every normalized view
+    per batch (re-deriving normalizers from the *induced* degrees), a
+    view gathers rows of the parent's already-normalized, already-cached
+    matrices and remaps columns through a dense lookup — one ragged CSR
+    pass per adjacency, built lazily only for the adjacencies the active
+    model's layer stack touches.
+
+    Because entries keep their full-graph normalization weights, running
+    a model's layer stack on the view over the *uncapped* L-hop closure
+    reproduces full-graph propagation on the batch rows exactly (the
+    parity tests assert this); a capped fan-out trades that exactness
+    for per-batch cost, GraphSAGE-style.
+
+    The view deliberately quacks like the adjacency surface of
+    :class:`~repro.graph.hetero.CollaborativeHeteroGraph`: models address
+    it through the same attribute names, and ``view.graph`` returns the
+    view itself so code written against
+    :class:`InducedSubgraph`'s ``.graph`` indirection runs unchanged.
+    """
+
+    def __init__(self, parent: CollaborativeHeteroGraph,
+                 user_ids: np.ndarray, item_ids: np.ndarray):
+        self._views: Dict[str, sp.csr_matrix] = {}
+        self.parent = parent
+        self.user_ids = np.unique(np.asarray(user_ids, dtype=np.int64))
+        self.item_ids = np.unique(np.asarray(item_ids, dtype=np.int64))
+        if self.user_ids.size == 0 or self.item_ids.size == 0:
+            raise ValueError("subgraph view needs at least one user and item")
+        if self.user_ids[0] < 0 or self.user_ids[-1] >= parent.num_users:
+            raise ValueError("user ids outside the parent graph")
+        if self.item_ids[0] < 0 or self.item_ids[-1] >= parent.num_items:
+            raise ValueError("item ids outside the parent graph")
+        self.num_users = len(self.user_ids)
+        self.num_items = len(self.item_ids)
+        self.num_relations = parent.num_relations
+        self._user_lut = _local_lookup(self.user_ids, parent.num_users)
+        self._item_lut = _local_lookup(self.item_ids, parent.num_items)
+
+    # -- identity / id maps --------------------------------------------
+    @property
+    def graph(self) -> "SubgraphView":
+        """The adjacency provider — the view itself."""
+        return self
+
+    def local_users(self, global_users: np.ndarray) -> np.ndarray:
+        """Map global user ids to local rows (raises if absent)."""
+        local = self._user_lut[np.asarray(global_users, dtype=np.int64)]
+        if (local < 0).any():
+            missing = np.unique(np.asarray(global_users)[local < 0])[:8]
+            raise KeyError(f"user ids not present in the subgraph view: "
+                           f"{missing.tolist()}")
+        return local
+
+    def local_items(self, global_items: np.ndarray) -> np.ndarray:
+        """Map global item ids to local rows (raises if absent)."""
+        local = self._item_lut[np.asarray(global_items, dtype=np.int64)]
+        if (local < 0).any():
+            missing = np.unique(np.asarray(global_items)[local < 0])[:8]
+            raise KeyError(f"item ids not present in the subgraph view: "
+                           f"{missing.tolist()}")
+        return local
+
+    # -- lazy sliced views ---------------------------------------------
+    def _row_ids(self, space: Optional[str]) -> Optional[np.ndarray]:
+        if space is None:
+            return None
+        if space == "user":
+            return self.user_ids
+        if space == "item":
+            return self.item_ids
+        return np.concatenate(
+            [self.user_ids, self.parent.num_users + self.item_ids])
+
+    def _col_lut(self, space: str) -> Tuple[np.ndarray, int]:
+        if space == "user":
+            return self._user_lut, self.num_users
+        if space == "item":
+            return self._item_lut, self.num_items
+        if space == "relation":
+            return (np.arange(self.num_relations, dtype=np.int64),
+                    self.num_relations)
+        joint = np.concatenate(
+            [self._user_lut,
+             np.where(self._item_lut >= 0, self._item_lut + self.num_users,
+                      -1)])
+        return joint, self.num_users + self.num_items
+
+    def __getattr__(self, name: str) -> sp.csr_matrix:
+        spec = _VIEW_SPECS.get(name)
+        if spec is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}")
+        cached = self._views.get(name)
+        if cached is None:
+            row_space, col_space = spec
+            col_lut, num_cols = self._col_lut(col_space)
+            cached = _induced_csr(getattr(self.parent, name),
+                                  self._row_ids(row_space), col_lut, num_cols)
+            self._views[name] = cached
+        return cached
+
+    def materialized_views(self) -> Tuple[str, ...]:
+        """Names of the adjacencies built so far (introspection/tests)."""
+        return tuple(sorted(self._views))
+
+    def __repr__(self) -> str:
+        return (f"SubgraphView(users={self.num_users}, items={self.num_items},"
+                f" relations={self.num_relations},"
+                f" views={list(self.materialized_views())})")
+
+
+def build_subgraph_view(graph: CollaborativeHeteroGraph, user_ids: np.ndarray,
+                        item_ids: np.ndarray) -> SubgraphView:
+    """A :class:`SubgraphView` over the given induced node sets."""
+    return SubgraphView(graph, user_ids, item_ids)
+
+
+def sample_subgraph_view(graph: CollaborativeHeteroGraph,
+                         seed_users: np.ndarray, seed_items: np.ndarray,
+                         hops: int = 2, fanout: Optional[int] = None,
+                         seed: int = 0) -> SubgraphView:
+    """Expand the seeds and wrap the closure in a view — one call."""
+    user_ids, item_ids = expand_neighborhood(
+        graph, seed_users, seed_items, hops=hops, fanout=fanout, seed=seed)
+    return SubgraphView(graph, user_ids, item_ids)
+
+
+# ----------------------------------------------------------------------
+# Heavyweight induced subgraphs (ablation / oracle path)
+# ----------------------------------------------------------------------
 @dataclass
 class InducedSubgraph:
-    """A subgraph view plus the maps between global and local ids."""
+    """A subgraph plus the maps between global and local ids."""
 
     graph: CollaborativeHeteroGraph
     user_ids: np.ndarray  # local -> global
     item_ids: np.ndarray
 
     def local_users(self, global_users: np.ndarray) -> np.ndarray:
-        """Map global user ids to local rows (must be present)."""
-        return np.searchsorted(self.user_ids, np.asarray(global_users))
+        """Map global user ids to local rows (raises if absent)."""
+        return _validated_local(self.user_ids, global_users, "user")
 
     def local_items(self, global_items: np.ndarray) -> np.ndarray:
-        """Map global item ids to local rows (must be present)."""
-        return np.searchsorted(self.item_ids, np.asarray(global_items))
+        """Map global item ids to local rows (raises if absent)."""
+        return _validated_local(self.item_ids, global_items, "item")
 
 
 def induced_subgraph(graph: CollaborativeHeteroGraph, user_ids: np.ndarray,
@@ -102,7 +443,10 @@ def induced_subgraph(graph: CollaborativeHeteroGraph, user_ids: np.ndarray,
     All relation nodes are kept (there are only ``R`` of them); edges are
     those of the parent graph with both endpoints inside the induced
     sets.  Returns a real :class:`CollaborativeHeteroGraph`, so every
-    normalized view exists and is consistent with the induced degrees.
+    normalized view exists and is consistent with the *induced* degrees —
+    the GraphSAGE-style approximation.  The production minibatch path
+    uses :class:`SubgraphView` instead, which keeps full-graph
+    normalizers and skips the dataset reconstruction.
     """
     user_ids = np.unique(np.asarray(user_ids, dtype=np.int64))
     item_ids = np.unique(np.asarray(item_ids, dtype=np.int64))

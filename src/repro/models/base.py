@@ -75,6 +75,78 @@ class Recommender(Module):
         return bpr_terms(user_emb, item_emb, users, positives, negatives, l2=l2)
 
     # ------------------------------------------------------------------
+    # Minibatch (neighbour-sampled) training
+    # ------------------------------------------------------------------
+    def supports_minibatch(self) -> bool:
+        """Whether the model implements the sampled propagation path."""
+        return type(self).propagate_on is not Recommender.propagate_on
+
+    def minibatch_hops(self) -> int:
+        """Neighbourhood depth at which *uncapped* sampling is exact.
+
+        The number of expansion rounds needed so that every node whose
+        message reaches a batch row under :meth:`propagate` is inside
+        the sampled closure.  The default — one hop per propagation
+        layer — is right for single-edge-per-layer models; models whose
+        layers traverse more than one edge (or that post-process with an
+        extra aggregation, like DGNN's τ) override it.
+        """
+        return max(int(getattr(self, "num_layers", 1)), 1)
+
+    def propagate_on(self, subgraph) -> Tuple[Tensor, Tensor]:
+        """Run propagation on a sampled subgraph; local-row embeddings.
+
+        ``subgraph`` is a :class:`repro.graph.sampling.SubgraphView` (the
+        fast path — parent-normalized adjacency slices) or a legacy
+        :class:`~repro.graph.sampling.InducedSubgraph`; either way the
+        returned tensors cover its local user/item rows and gradients
+        scatter back into the global embedding tables through the
+        engine's ``gather_rows`` op.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not implement sampled propagation")
+
+    def bpr_loss_on(self, subgraph, users: np.ndarray, positives: np.ndarray,
+                    negatives: np.ndarray, l2: float = 1e-4) -> Tensor:
+        """BPR loss evaluated on a prebuilt subgraph.
+
+        The building block the prefetching pipeline uses: sampling and
+        subgraph construction happen elsewhere (possibly on a worker
+        thread), the compute step only propagates and scores.
+        """
+        self.invalidate_cache()
+        user_emb, item_emb = self.propagate_on(subgraph)
+        return bpr_terms(user_emb, item_emb,
+                         subgraph.local_users(np.asarray(users, np.int64)),
+                         subgraph.local_items(np.asarray(positives, np.int64)),
+                         subgraph.local_items(np.asarray(negatives, np.int64)),
+                         l2=l2)
+
+    def bpr_loss_sampled(self, users: np.ndarray, positives: np.ndarray,
+                         negatives: np.ndarray, l2: float = 1e-4,
+                         hops: Optional[int] = None,
+                         fanout: Optional[int] = 20,
+                         seed: int = 0) -> Tensor:
+        """BPR loss on the batch's sampled L-hop neighbourhood.
+
+        A drop-in alternative to :meth:`bpr_loss` whose cost scales with
+        the neighbourhood instead of the full graph.  ``hops`` defaults
+        to :meth:`minibatch_hops` (exact closure depth); ``fanout`` caps
+        sampled neighbours per node per relation (``None`` keeps all —
+        with the default hops this reproduces the full-graph loss to
+        dtype tolerance).
+        """
+        from repro.graph.sampling import sample_subgraph_view
+
+        subgraph = sample_subgraph_view(
+            self.graph, np.asarray(users, np.int64),
+            np.concatenate([np.asarray(positives, np.int64),
+                            np.asarray(negatives, np.int64)]),
+            hops=self.minibatch_hops() if hops is None else hops,
+            fanout=fanout, seed=seed)
+        return self.bpr_loss_on(subgraph, users, positives, negatives, l2=l2)
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def invalidate_cache(self) -> None:

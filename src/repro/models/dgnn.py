@@ -29,14 +29,14 @@ False`` yields "-S" / "-T" / "-ST" (Fig. 5).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
-from repro.engine.propagate import LayerStack, bpr_terms
+from repro.engine.propagate import LayerStack
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.models.memory import MemoryBank
@@ -238,13 +238,25 @@ class DGNN(Recommender):
     # ------------------------------------------------------------------
     # Minibatch (neighbour-sampled) training
     # ------------------------------------------------------------------
-    def propagate_on(self, subgraph) -> Tuple[Tensor, Tensor]:
-        """Run the propagation on an induced subgraph view.
+    def minibatch_hops(self) -> int:
+        """Exact closure depth: one hop per layer, plus one for τ.
 
-        ``subgraph`` is a :class:`repro.graph.sampling.InducedSubgraph`;
-        the returned embeddings cover its local user/item rows (gradients
-        scatter back into the global embedding tables).  Normalizers are
-        the induced-degree approximation of full-graph propagation.
+        The τ recalibration (Eq. 9) averages each batch user's social
+        neighbourhood *after* the layer stack, so exactness needs those
+        neighbours' full L-layer embeddings — one extra expansion round.
+        """
+        return self.num_layers + (1 if self.use_tau else 0)
+
+    def propagate_on(self, subgraph) -> Tuple[Tensor, Tensor]:
+        """Run the propagation on a sampled subgraph.
+
+        ``subgraph`` is a :class:`repro.graph.sampling.SubgraphView`
+        (parent-normalized slices — exact message weights) or a legacy
+        :class:`~repro.graph.sampling.InducedSubgraph` (normalizers
+        recomputed on induced degrees, the GraphSAGE-style
+        approximation); the returned embeddings cover its local
+        user/item rows and gradients scatter back into the global
+        embedding tables.
         """
         initial = (
             ops.gather_rows(self.user_embedding.weight, subgraph.user_ids),
@@ -263,37 +275,6 @@ class DGNN(Recommender):
             tau_matrix = subgraph.graph.social_self_loop_mean
             user_final = ops.add(user_final, ops.spmm(tau_matrix, user_final))
         return user_final, item_final
-
-    def bpr_loss_sampled(self, users: np.ndarray, positives: np.ndarray,
-                         negatives: np.ndarray, l2: float = 1e-4,
-                         hops: Optional[int] = None,
-                         fanout: Optional[int] = 20,
-                         seed: int = 0) -> Tensor:
-        """BPR loss computed on the batch's sampled L-hop neighbourhood.
-
-        A drop-in alternative to :meth:`bpr_loss` whose cost scales with
-        the neighbourhood instead of the full graph — the practical
-        trainer for graphs of the paper's Epinions/Yelp size.  ``hops``
-        defaults to the model depth; ``fanout`` caps sampled neighbours
-        per node per relation (``None`` = keep all).
-        """
-        from repro.graph.sampling import expand_neighborhood, induced_subgraph
-
-        self.invalidate_cache()
-        users = np.asarray(users, dtype=np.int64)
-        positives = np.asarray(positives, dtype=np.int64)
-        negatives = np.asarray(negatives, dtype=np.int64)
-        seed_items = np.concatenate([positives, negatives])
-        user_ids, item_ids = expand_neighborhood(
-            self.graph, users, seed_items,
-            hops=self.num_layers if hops is None else hops,
-            fanout=fanout, seed=seed)
-        subgraph = induced_subgraph(self.graph, user_ids, item_ids)
-        user_emb, item_emb = self.propagate_on(subgraph)
-        return bpr_terms(user_emb, item_emb,
-                         subgraph.local_users(users),
-                         subgraph.local_items(positives),
-                         subgraph.local_items(negatives), l2=l2)
 
     # ------------------------------------------------------------------
     # Introspection for the case studies (Figs. 9-10)

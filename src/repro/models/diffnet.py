@@ -44,15 +44,27 @@ class DiffNet(Recommender):
             init.xavier_uniform((self.num_layers, embed_dim, embed_dim), rng))
         self._stack = LayerStack(self.num_layers, combine="last")
 
-    def _step(self, layer_index: int, diffused: Tensor) -> Tensor:
-        social_mean = ops.spmm(self.graph.social_mean, diffused)
+    def _step_on(self, view, layer_index: int, diffused: Tensor) -> Tensor:
+        social_mean = ops.spmm(view.social_mean, diffused)
         weight = self.layer_weights[np.int64(layer_index)]
         return ops.add(ops.leaky_relu(ops.matmul(social_mean, weight), 0.2),
                        diffused)
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
         items = self.item_embedding.all()
-        diffused = self._stack.run(self.user_embedding.all(), self._step)
+        diffused = self._stack.run(
+            self.user_embedding.all(),
+            lambda index, current: self._step_on(self.graph, index, current))
         interacted = ops.spmm(self.graph.user_item_mean, items)
         user_final = ops.add(diffused, interacted)
         return user_final, items
+
+    def propagate_on(self, subgraph) -> Tuple[Tensor, Tensor]:
+        """Sampled path: social diffusion over the sliced adjacencies."""
+        view = subgraph.graph
+        items = ops.gather_rows(self.item_embedding.weight, subgraph.item_ids)
+        diffused = self._stack.run(
+            ops.gather_rows(self.user_embedding.weight, subgraph.user_ids),
+            lambda index, current: self._step_on(view, index, current))
+        interacted = ops.spmm(view.user_item_mean, items)
+        return ops.add(diffused, interacted), items

@@ -36,7 +36,6 @@ class GCCF(Recommender):
         self.context_weight = float(context_weight)
         self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
         self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
-        self._item_context = (graph.item_relation_mean @ graph.relation_item_mean).tocsr()
 
     def propagate(self) -> Tuple[Tensor, Tensor]:
         users = self.user_embedding.all()
@@ -50,7 +49,7 @@ class GCCF(Recommender):
             joint = ops.add(propagated, joint)  # linear residual, no activation
             if self.context_weight > 0:
                 social = ops.spmm(self.graph.social_mean, joint[user_index])
-                related = ops.spmm(self._item_context, joint[item_index])
+                related = ops.spmm(self.graph.item_context, joint[item_index])
                 context = ops.cat([social, related], axis=0)
                 joint = ops.add(joint, ops.mul(Tensor(np.array(self.context_weight)),
                                                context))

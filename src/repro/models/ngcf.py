@@ -68,16 +68,19 @@ class NGCF(Recommender):
         self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
         self.layers = ModuleList([_NgcfLayer(embed_dim, rng)
                                   for _ in range(self.num_layers)])
-        self._item_context = (graph.item_relation_mean @ graph.relation_item_mean).tocsr()
         self._stack = LayerStack(self.num_layers, combine="concat")
 
-    def _step(self, layer_index: int, joint: Tensor) -> Tensor:
-        joint = self.layers[layer_index](self.graph.bipartite_norm, joint)
+    def minibatch_hops(self) -> int:
+        """Exact depth: each layer is a bipartite hop *and* a context hop."""
+        return 2 * max(self.num_layers, 1)
+
+    def _step_on(self, view, layer_index: int, joint: Tensor) -> Tensor:
+        joint = self.layers[layer_index](view.bipartite_norm, joint)
         if self.context_weight > 0:
-            user_part = joint[np.arange(self.graph.num_users)]
-            item_part = joint[self.graph.num_users + np.arange(self.graph.num_items)]
-            social = ops.spmm(self.graph.social_mean, user_part)
-            related = ops.spmm(self._item_context, item_part)
+            user_part = joint[np.arange(view.num_users)]
+            item_part = joint[view.num_users + np.arange(view.num_items)]
+            social = ops.spmm(view.social_mean, user_part)
+            related = ops.spmm(view.item_context, item_part)
             context = ops.cat([social, related], axis=0)
             joint = ops.add(joint, ops.mul(Tensor(np.array(self.context_weight)),
                                            context))
@@ -86,7 +89,22 @@ class NGCF(Recommender):
     def propagate(self) -> Tuple[Tensor, Tensor]:
         joint = ops.cat([self.user_embedding.all(), self.item_embedding.all()],
                         axis=0)
-        final = self._stack.run(joint, self._step)
+        final = self._stack.run(
+            joint, lambda index, current: self._step_on(self.graph, index,
+                                                        current))
         user_final = final[np.arange(self.graph.num_users)]
         item_final = final[self.graph.num_users + np.arange(self.graph.num_items)]
+        return user_final, item_final
+
+    def propagate_on(self, subgraph) -> Tuple[Tensor, Tensor]:
+        """Sampled path: the same layer rule over the sliced adjacencies."""
+        view = subgraph.graph
+        joint = ops.cat([
+            ops.gather_rows(self.user_embedding.weight, subgraph.user_ids),
+            ops.gather_rows(self.item_embedding.weight, subgraph.item_ids)],
+            axis=0)
+        final = self._stack.run(
+            joint, lambda index, current: self._step_on(view, index, current))
+        user_final = final[np.arange(view.num_users)]
+        item_final = final[view.num_users + np.arange(view.num_items)]
         return user_final, item_final

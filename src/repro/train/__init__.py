@@ -3,6 +3,12 @@
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer, TrainingHistory
 from repro.train.early_stopping import EarlyStopping
+from repro.train.pipeline import (
+    MinibatchPlanner,
+    MinibatchStep,
+    PrefetchPipeline,
+    prefetch_enabled,
+)
 from repro.train.checkpoint import save_checkpoint, load_checkpoint, restore_model
 from repro.train.search import grid_search, GridSearchReport, SearchResult, paper_tuning_grid
 from repro.train.pretrain import PretrainConfig, pretrain_embeddings, apply_pretrained
@@ -12,6 +18,10 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "EarlyStopping",
+    "MinibatchPlanner",
+    "MinibatchStep",
+    "PrefetchPipeline",
+    "prefetch_enabled",
     "save_checkpoint",
     "load_checkpoint",
     "restore_model",

@@ -21,6 +21,10 @@ class TrainConfig:
     l2: float = 1e-4
     weight_decay: float = 0.0  # Eq. 11's λ||Θ||², applied through Adam
     batches_per_epoch: Optional[int] = None  # None -> cover the training set once
+    propagation: str = "full"  # "full" (Alg. 1) or "minibatch" (sampled)
+    hops: Optional[int] = None  # minibatch closure depth; None -> model's exact depth
+    fanout: Optional[int] = 20  # per-node neighbour cap; None -> keep all
+    prefetch: Optional[bool] = None  # None -> REPRO_PREFETCH env (default on)
     eval_every: int = 1
     eval_ks: Tuple[int, ...] = (5, 10, 20)
     early_stopping_metric: str = "hr@10"
@@ -38,6 +42,12 @@ class TrainConfig:
             raise ValueError("learning_rate must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.propagation not in ("full", "minibatch"):
+            raise ValueError("propagation must be 'full' or 'minibatch'")
+        if self.hops is not None and self.hops < 0:
+            raise ValueError("hops must be >= 0")
+        if self.fanout is not None and self.fanout <= 0:
+            raise ValueError("fanout must be positive (or None to keep all)")
 
 
 @dataclass

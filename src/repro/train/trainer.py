@@ -1,17 +1,29 @@
 """The BPR training loop (Alg. 1 of the paper).
 
-Per epoch: sample BPR triple batches, run the model's full heterogeneous
-propagation, backpropagate the pairwise loss (Eq. 11), and step Adam.
+Per epoch: sample BPR triple batches, propagate, backpropagate the
+pairwise loss (Eq. 11), and step Adam.  Propagation runs in one of two
+modes selected by ``TrainConfig.propagation``:
+
+* ``"full"`` — the paper's Alg. 1: full heterogeneous propagation per
+  batch.  Exact, but every step costs the whole graph.
+* ``"minibatch"`` — neighbourhood-sampled subgraph propagation: each
+  batch's L-hop closure is expanded (optionally fan-out-capped) and the
+  model's layer stack runs on a
+  :class:`~repro.graph.sampling.SubgraphView`.  With
+  ``TrainConfig.prefetch`` on, a background worker builds the next
+  batch's subgraph while the current step computes.
+
 Evaluation uses the shared 1-positive + 100-negative protocol.  The
-trainer records per-epoch losses, metric trajectories and wall-clock
-timings — the raw material for Table IV and Fig. 8.
+trainer records per-epoch losses, metric trajectories, wall-clock
+timings, and the split between time spent *sampling* batches and time
+spent *computing* on them — the raw material for Table IV and Fig. 8.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.data.sampling import BprSampler, EvalCandidates, build_eval_candidates
 from repro.data.split import Split
@@ -21,6 +33,11 @@ from repro.models.base import Recommender
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.train.config import TrainConfig
 from repro.train.early_stopping import EarlyStopping
+from repro.train.pipeline import (
+    MinibatchPlanner,
+    PrefetchPipeline,
+    prefetch_enabled,
+)
 
 
 @dataclass
@@ -31,6 +48,8 @@ class TrainingHistory:
     eval_epochs: List[int] = field(default_factory=list)
     metrics: List[Dict[str, float]] = field(default_factory=list)
     train_seconds: List[float] = field(default_factory=list)
+    sample_seconds: List[float] = field(default_factory=list)
+    compute_seconds: List[float] = field(default_factory=list)
     eval_seconds: List[float] = field(default_factory=list)
     kernel_counters: List[Dict[str, float]] = field(default_factory=list)
     best_epoch: int = -1
@@ -51,6 +70,20 @@ class TrainingHistory:
     def mean_eval_seconds(self) -> float:
         """Average evaluation wall-clock per pass (Table IV)."""
         return sum(self.eval_seconds) / max(len(self.eval_seconds), 1)
+
+    def mean_sample_seconds(self) -> float:
+        """Average per-epoch time spent sampling/building batches.
+
+        Under prefetch this is worker-thread time: it can exceed the
+        epoch's wall-clock gap over compute, which is exactly the
+        overlap the pipeline buys (``train_seconds <
+        sample_seconds + compute_seconds``).
+        """
+        return sum(self.sample_seconds) / max(len(self.sample_seconds), 1)
+
+    def mean_compute_seconds(self) -> float:
+        """Average per-epoch time spent in forward/backward/step."""
+        return sum(self.compute_seconds) / max(len(self.compute_seconds), 1)
 
     def total_kernel_counters(self) -> Dict[str, float]:
         """Sum of the per-epoch kernel counter deltas over the whole run."""
@@ -90,6 +123,73 @@ class Trainer:
                                   seed=self.config.seed)
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
                               weight_decay=self.config.weight_decay)
+        self._planner: Optional[MinibatchPlanner] = None
+        if self.config.propagation == "minibatch":
+            if not model.supports_minibatch():
+                raise ValueError(
+                    f"model {model.name!r} does not implement the sampled "
+                    f"propagation path required by propagation='minibatch'")
+            hops = (self.config.hops if self.config.hops is not None
+                    else model.minibatch_hops())
+            self._planner = MinibatchPlanner(
+                model.graph, self.sampler, hops=hops,
+                fanout=self.config.fanout, base_seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    # One epoch, both propagation modes
+    # ------------------------------------------------------------------
+    def _apply_gradients(self, loss) -> None:
+        loss.backward()
+        if self.config.clip_norm is not None:
+            clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+        self.optimizer.step()
+
+    def _full_epoch(self, batches: int) -> Tuple[float, float, float]:
+        """Alg. 1: full-graph propagation per batch."""
+        epoch_loss = sample_seconds = compute_seconds = 0.0
+        for _ in range(batches):
+            start = time.perf_counter()
+            users, positives, negatives = self.sampler.sample()
+            sample_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            self.optimizer.zero_grad()
+            loss = self.model.bpr_loss(users, positives, negatives,
+                                       l2=self.config.l2)
+            self._apply_gradients(loss)
+            epoch_loss += loss.item()
+            compute_seconds += time.perf_counter() - start
+        return epoch_loss, sample_seconds, compute_seconds
+
+    def _minibatch_epoch(self, epoch: int,
+                         batches: int) -> Tuple[float, float, float]:
+        """Sampled propagation, optionally with prefetch overlap.
+
+        ``sample_seconds`` counts time spent building batches wherever it
+        ran (inline or on the prefetch worker), so under prefetch the
+        epoch wall-clock is less than ``sample + compute`` — the overlap
+        the pipeline buys.
+        """
+        steps = self._planner.plan(batches, epoch)
+        pipeline = None
+        if prefetch_enabled(self.config.prefetch):
+            pipeline = PrefetchPipeline(steps)
+            steps = pipeline
+        epoch_loss = sample_seconds = compute_seconds = 0.0
+        try:
+            for step in steps:
+                sample_seconds += step.sample_seconds
+                start = time.perf_counter()
+                self.optimizer.zero_grad()
+                loss = self.model.bpr_loss_on(
+                    step.subgraph, step.users, step.positives, step.negatives,
+                    l2=self.config.l2)
+                self._apply_gradients(loss)
+                epoch_loss += loss.item()
+                compute_seconds += time.perf_counter() - start
+        finally:
+            if pipeline is not None:
+                pipeline.close()
+        return epoch_loss, sample_seconds, compute_seconds
 
     def fit(self) -> TrainingHistory:
         """Run the training loop and return the recorded history.
@@ -105,20 +205,19 @@ class Trainer:
 
         for epoch in range(config.epochs):
             start = time.perf_counter()
-            epoch_loss = 0.0
             self.model.train()
             counters_before = instrument.snapshot()
-            for users, positives, negatives in self.sampler.epoch(batches):
-                self.optimizer.zero_grad()
-                loss = self.model.bpr_loss(users, positives, negatives, l2=config.l2)
-                loss.backward()
-                if config.clip_norm is not None:
-                    clip_grad_norm(self.model.parameters(), config.clip_norm)
-                self.optimizer.step()
-                epoch_loss += loss.item()
+            if self._planner is not None:
+                epoch_loss, sample_seconds, compute_seconds = (
+                    self._minibatch_epoch(epoch, batches))
+            else:
+                epoch_loss, sample_seconds, compute_seconds = (
+                    self._full_epoch(batches))
             self.model.invalidate_cache()
             history.losses.append(epoch_loss / batches)
             history.train_seconds.append(time.perf_counter() - start)
+            history.sample_seconds.append(sample_seconds)
+            history.compute_seconds.append(compute_seconds)
             history.kernel_counters.append(
                 instrument.delta(counters_before, instrument.snapshot()))
 

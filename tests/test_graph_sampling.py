@@ -4,9 +4,20 @@ import numpy as np
 import pytest
 
 from repro.autograd import no_grad
-from repro.graph.sampling import expand_neighborhood, induced_subgraph
+from repro.engine import tolerances
+from repro.graph.sampling import (
+    build_subgraph_view,
+    expand_neighborhood,
+    expand_neighborhood_loop,
+    induced_subgraph,
+    sample_subgraph_view,
+)
+from repro.models import create_model
 from repro.models.dgnn import DGNN
 from repro.nn import Adam
+
+# Models implementing the sampled propagation path.
+SAMPLED_MODELS = ("dgnn", "lightgcn", "ngcf", "diffnet")
 
 
 class TestExpandNeighborhood:
@@ -40,6 +51,127 @@ class TestExpandNeighborhood:
                                 hops=2, fanout=2, seed=7)
         np.testing.assert_array_equal(a[0], b[0])
         np.testing.assert_array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_vectorized_matches_loop_oracle_uncapped(self, tiny_graph, hops):
+        seeds_u, seeds_i = np.array([0, 3, 3]), np.array([1, 5])
+        fast = expand_neighborhood(tiny_graph, seeds_u, seeds_i, hops=hops)
+        loop = expand_neighborhood_loop(tiny_graph, seeds_u, seeds_i,
+                                        hops=hops)
+        np.testing.assert_array_equal(fast[0], loop[0])
+        np.testing.assert_array_equal(fast[1], loop[1])
+
+    def test_capped_fast_is_subset_of_closure(self, tiny_graph):
+        seeds_u, seeds_i = np.arange(4), np.arange(4)
+        full_u, full_i = expand_neighborhood(tiny_graph, seeds_u, seeds_i,
+                                             hops=2, fanout=None)
+        capped_u, capped_i = expand_neighborhood(tiny_graph, seeds_u, seeds_i,
+                                                 hops=2, fanout=2, seed=3)
+        assert np.isin(capped_u, full_u).all()
+        assert np.isin(capped_i, full_i).all()
+        assert set(seeds_u) <= set(capped_u)
+        assert set(seeds_i) <= set(capped_i)
+
+
+class TestSubgraphView:
+    def test_views_match_dense_parent_slices(self, tiny_graph):
+        user_ids = np.array([0, 2, 5, 7])
+        item_ids = np.array([1, 3, 4, 9, 12])
+        view = build_subgraph_view(tiny_graph, user_ids, item_ids)
+        for name, rows, cols in (
+                ("social_mean", user_ids, user_ids),
+                ("user_item_mean", user_ids, item_ids),
+                ("item_relation_mean", item_ids,
+                 np.arange(tiny_graph.num_relations))):
+            parent = getattr(tiny_graph, name).toarray()
+            sliced = getattr(view, name).toarray()
+            np.testing.assert_array_equal(
+                sliced, parent[np.ix_(rows, cols)], err_msg=name)
+
+    def test_joint_view_matches_dense_parent_slice(self, tiny_graph):
+        user_ids = np.array([1, 4])
+        item_ids = np.array([0, 2, 6])
+        view = build_subgraph_view(tiny_graph, user_ids, item_ids)
+        joint = np.concatenate([user_ids, tiny_graph.num_users + item_ids])
+        parent = tiny_graph.bipartite_norm.toarray()
+        np.testing.assert_array_equal(
+            view.bipartite_norm.toarray(), parent[np.ix_(joint, joint)])
+
+    def test_views_are_memoized(self, tiny_graph):
+        view = build_subgraph_view(tiny_graph, np.arange(3), np.arange(3))
+        assert view.social_mean is view.social_mean
+        assert "social_mean" in view.materialized_views()
+
+    def test_local_ids_validate_membership(self, tiny_graph):
+        view = build_subgraph_view(tiny_graph, np.array([1, 4, 6]),
+                                   np.array([2, 5]))
+        np.testing.assert_array_equal(view.local_users(np.array([4, 1])),
+                                      [1, 0])
+        np.testing.assert_array_equal(view.local_items(np.array([5])), [1])
+        with pytest.raises(KeyError):
+            view.local_users(np.array([0]))
+        with pytest.raises(KeyError):
+            view.local_items(np.array([3]))
+
+    def test_induced_subgraph_local_ids_validate_membership(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, np.array([3, 1, 7]),
+                               np.array([10, 2]))
+        with pytest.raises(KeyError):
+            sub.local_users(np.array([0]))
+        with pytest.raises(KeyError):
+            sub.local_items(np.array([5]))
+
+    def test_sample_subgraph_view_covers_seeds(self, tiny_graph):
+        users = np.array([0, 2])
+        items = np.array([1, 8])
+        view = sample_subgraph_view(tiny_graph, users, items, hops=1,
+                                    fanout=2, seed=0)
+        assert np.isin(users, view.user_ids).all()
+        assert np.isin(items, view.item_ids).all()
+        assert view.num_relations == tiny_graph.num_relations
+
+
+class TestSampledFullParity:
+    @pytest.mark.parametrize("name", SAMPLED_MODELS)
+    def test_uncapped_sampled_loss_and_grads_match_full(self, name,
+                                                        tiny_graph,
+                                                        tiny_split):
+        """fanout=None at the model's exact closure depth is lossless.
+
+        Subgraph views keep the parent's normalizers, so the sampled BPR
+        loss and every parameter gradient must match the full-graph path
+        to dtype tolerance for each sampled-path model.
+        """
+        model = create_model(name, tiny_graph, embed_dim=8, seed=0)
+        model.eval()  # freeze dropout so both paths run the same function
+        users = tiny_split.train_pairs[:32, 0]
+        positives = tiny_split.train_pairs[:32, 1]
+        negatives = (positives + 7) % tiny_graph.num_items
+
+        model.zero_grad()
+        sampled = model.bpr_loss_sampled(users, positives, negatives,
+                                         fanout=None)
+        sampled.backward()
+        sampled_grads = [None if p.grad is None else p.grad.copy()
+                        for p in model.parameters()]
+
+        model.zero_grad()
+        model.invalidate_cache()
+        full = model.bpr_loss(users, positives, negatives)
+        full.backward()
+
+        tol = tolerances()
+        np.testing.assert_allclose(sampled.item(), full.item(),
+                                   rtol=tol.rtol, atol=tol.atol)
+        full_grads = [p.grad for p in model.parameters()]
+        assert len(sampled_grads) == len(full_grads)
+        for sampled_grad, full_grad in zip(sampled_grads, full_grads):
+            if full_grad is None:
+                assert sampled_grad is None
+                continue
+            np.testing.assert_allclose(sampled_grad, full_grad,
+                                       rtol=tol.grad_rtol,
+                                       atol=tol.grad_atol)
 
 
 class TestInducedSubgraph:
