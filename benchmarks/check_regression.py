@@ -41,6 +41,20 @@ _EXACT_KEYS = ("calls.spmm", "calls.gathered_rowwise_dot",
 # full-graph propagation, and the vectorized-expansion speedup over the
 # loop oracle.
 _MINIBATCH_KEYS = ("epochs_per_sec", "speedup_over_full", "speedup")
+# Optimizer-section (sweep 6) metrics: training epoch rates, the
+# lazy-over-dense training speedup, and the Adam step rates of the
+# touched-row-fraction micro-benchmark.
+_OPTIMIZER_KEYS = ("epochs_per_sec", "speedup_over_dense",
+                   "dense_steps_per_sec", "lazy_steps_per_sec", "speedup")
+# Hard floors on the lazy-over-dense training speedup: lazy Adam must
+# beat dense Adam by at least this factor at these presets, in the
+# committed artifact and in any fresh re-bench that runs the sweep.
+_LAZY_SPEEDUP_FLOORS = {"large": 2.0}
+# Per-preset sections the artifact is built from; used to report a
+# *missing* section (key absent) distinctly from one that was not run
+# (present but empty), which is normal for partial smoke refreshes.
+_SECTIONS = ("backends", "memory_kernel", "dtype_sweep", "thread_sweep",
+             "minibatch", "optimizer")
 
 
 def _presets(payload: Dict) -> Dict[str, Dict]:
@@ -63,6 +77,13 @@ def compare(baseline: Dict, fresh: Dict,
         return [f"no shared presets between baseline ({sorted(base_presets)}) "
                 f"and fresh ({sorted(fresh_presets)})"]
     for preset in shared:
+        for section_name in _SECTIONS:
+            if (base_presets[preset].get(section_name)
+                    and section_name not in fresh_presets[preset]):
+                problems.append(
+                    f"{preset}: expected section {section_name!r} is missing "
+                    f"from the fresh artifact (baseline has it; a sweep that "
+                    f"did not run should still write an empty section)")
         base_backends = base_presets[preset].get("backends", {})
         fresh_backends = fresh_presets[preset].get("backends", {})
         for backend in sorted(set(base_backends) & set(fresh_backends)):
@@ -102,6 +123,36 @@ def compare(baseline: Dict, fresh: Dict,
                     problems.append(
                         f"{preset}/minibatch/{mode}: {key} regressed "
                         f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+        base_optim = base_presets[preset].get("optimizer", {})
+        fresh_optim = fresh_presets[preset].get("optimizer", {})
+        for mode in sorted(set(base_optim) & set(fresh_optim)):
+            base_stats = base_optim[mode]
+            fresh_stats = fresh_optim[mode]
+            if not isinstance(base_stats, dict) or not isinstance(fresh_stats, dict):
+                continue
+            for key in _OPTIMIZER_KEYS:
+                old = base_stats.get(key)
+                new = fresh_stats.get(key)
+                if not old or new is None:
+                    continue
+                drop = (old - new) / old
+                if drop > threshold:
+                    problems.append(
+                        f"{preset}/optimizer/{mode}: {key} regressed "
+                        f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+        floor = _LAZY_SPEEDUP_FLOORS.get(preset)
+        if floor is not None:
+            for label, payload in (("baseline", base_optim),
+                                   ("fresh", fresh_optim)):
+                lazy = payload.get("training_lazy")
+                if not isinstance(lazy, dict):
+                    continue
+                speedup = lazy.get("speedup_over_dense")
+                if speedup is not None and speedup < floor:
+                    problems.append(
+                        f"{preset}/optimizer/training_lazy ({label}): "
+                        f"lazy-over-dense speedup {speedup:.2f}x is below "
+                        f"the required {floor:.1f}x floor")
     return problems
 
 

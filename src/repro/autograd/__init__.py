@@ -19,6 +19,12 @@ array([[2., 2., 2.],
 """
 
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.sparse import (
+    RowSparseGrad,
+    set_sparse_grads,
+    sparse_grads_enabled,
+    use_sparse_grads,
+)
 from repro.autograd import ops
 from repro.autograd.ops import (
     add,
@@ -49,6 +55,10 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "RowSparseGrad",
+    "set_sparse_grads",
+    "sparse_grads_enabled",
+    "use_sparse_grads",
     "ops",
     "add",
     "mul",

@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd.sparse import RowSparseGrad, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.engine.adjcache import cached_transpose
 from repro.engine.backends import get_backend
@@ -316,8 +317,16 @@ def gather_rows(a, indices) -> Tensor:
 
     def factory(out: Tensor):
         def backward():
-            a._accumulate(get_backend().scatter_add_rows(
-                out.grad, indices, a.shape[0]))
+            # Leaf tables (embedding weights) can take a row-sparse
+            # gradient — nothing downstream reads it but the optimizer.
+            # Non-leaf parents feed further backward closures that expect
+            # dense arrays, so they always get the dense scatter.
+            if (sparse_grads_enabled()
+                    and a._backward is None and not a._parents):
+                a._accumulate(RowSparseGrad(indices, out.grad, a.shape[0]))
+            else:
+                a._accumulate(get_backend().scatter_add_rows(
+                    out.grad, indices, a.shape[0]))
 
         return backward
 

@@ -155,12 +155,31 @@ class Tensor:
             out._backward = backward_factory(out)
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+    def _accumulate(self, grad) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``grad`` may be a dense array or a
+        :class:`repro.autograd.sparse.RowSparseGrad` (only ever produced
+        for leaf tensors).  Mixing rules: sparse+sparse merges without
+        densifying; any dense contribution densifies the buffer.
+        """
         if not self.requires_grad:
+            return
+        from repro.autograd.sparse import RowSparseGrad
+
+        if isinstance(grad, RowSparseGrad):
+            if self.grad is None:
+                self.grad = grad
+            elif isinstance(self.grad, RowSparseGrad):
+                self.grad = self.grad.merge(grad)
+            else:
+                grad.add_into_dense(self.grad)
             return
         if self.grad is None:
             self.grad = np.asarray(grad, dtype=self.data.dtype).copy()
+        elif isinstance(self.grad, RowSparseGrad):
+            dense = np.asarray(grad, dtype=self.data.dtype).copy()
+            self.grad = self.grad.add_into_dense(dense)
         else:
             self.grad += grad
 

@@ -8,10 +8,15 @@ from repro.eval.metrics import (
     precision_at,
     ranking_metrics,
     ranks_of_positives,
+    top_k_indices,
 )
 from repro.eval.protocol import evaluate_model, evaluate_scores
 from repro.eval.sparsity import group_users_by_quantile, evaluate_by_group
-from repro.eval.full_ranking import evaluate_full_ranking, full_ranking_ranks
+from repro.eval.full_ranking import (
+    evaluate_full_ranking,
+    full_ranking_ranks,
+    full_ranking_topk,
+)
 
 __all__ = [
     "ranks_of_positives",
@@ -27,4 +32,6 @@ __all__ = [
     "evaluate_by_group",
     "evaluate_full_ranking",
     "full_ranking_ranks",
+    "full_ranking_topk",
+    "top_k_indices",
 ]

@@ -14,7 +14,22 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.data.split import Split
-from repro.eval.metrics import hit_rate_at, ndcg_at
+from repro.eval.metrics import hit_rate_at, ndcg_at, top_k_indices
+
+
+def _mask_train_items(scores: np.ndarray, block_users: np.ndarray,
+                      indptr: np.ndarray, indices: np.ndarray) -> None:
+    """Set each block user's training items to ``-inf``, in place.
+
+    Ragged CSR gather: flatten every block user's training-item list
+    into one (row, col) index pair set — no per-user loop.
+    """
+    counts = indptr[block_users + 1] - indptr[block_users]
+    rows = np.repeat(np.arange(len(block_users)), counts)
+    offsets = (np.arange(int(counts.sum()))
+               - np.repeat(np.cumsum(counts) - counts, counts))
+    cols = indices[np.repeat(indptr[block_users], counts) + offsets]
+    scores[rows, cols] = -np.inf
 
 
 def full_ranking_ranks(model, split: Split, batch_size: int = 256,
@@ -54,19 +69,38 @@ def full_ranking_ranks(model, split: Split, batch_size: int = 256,
         block_positives = positives[start:start + batch_size]
         scores = user_emb[block_users] @ item_emb.T  # (b, num_items)
         if mask_train:
-            # Ragged CSR gather: flatten every block user's training-item
-            # list into one (row, col) index pair set — no per-user loop.
-            counts = indptr[block_users + 1] - indptr[block_users]
-            rows = np.repeat(np.arange(len(block_users)), counts)
-            offsets = (np.arange(int(counts.sum()))
-                       - np.repeat(np.cumsum(counts) - counts, counts))
-            cols = indices[np.repeat(indptr[block_users], counts) + offsets]
-            scores[rows, cols] = -np.inf
+            _mask_train_items(scores, block_users, indptr, indices)
         positive_scores = scores[np.arange(len(block_users)), block_positives]
         better = (scores > positive_scores[:, None]).sum(axis=1)
         ties = (scores == positive_scores[:, None]).sum(axis=1) - 1
         ranks[start:start + len(block_users)] = better + 0.5 * ties
     return ranks
+
+
+def full_ranking_topk(model, split: Split, users: Optional[np.ndarray] = None,
+                      top_n: int = 10, batch_size: int = 256,
+                      mask_train: bool = True) -> np.ndarray:
+    """Top-N recommended item ids per user under the all-item protocol.
+
+    The batched counterpart of :meth:`Recommender.recommend`: one score
+    matrix per block, training items masked via the shared CSR gather,
+    and the per-row top N selected with :func:`top_k_indices`.  Returns
+    an ``(len(users), top_n)`` int array, best item first.
+    """
+    user_emb, item_emb = model.final_embeddings()
+    users = (split.test_users if users is None
+             else np.asarray(users, dtype=np.int64))
+    train_matrix = split.train_matrix().tocsr()
+    train_matrix.sort_indices()
+    indptr, indices = train_matrix.indptr, train_matrix.indices
+    top = np.empty((len(users), min(top_n, item_emb.shape[0])), dtype=np.int64)
+    for start in range(0, len(users), batch_size):
+        block_users = users[start:start + batch_size]
+        scores = user_emb[block_users] @ item_emb.T
+        if mask_train:
+            _mask_train_items(scores, block_users, indptr, indices)
+        top[start:start + len(block_users)] = top_k_indices(scores, top_n)
+    return top
 
 
 def evaluate_full_ranking(model, split: Split, ks: Sequence[int] = (10, 20, 50),

@@ -13,6 +13,29 @@ from typing import Dict, Sequence
 import numpy as np
 
 
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, ordered by descending score.
+
+    Partial-sorts with ``argpartition`` (O(n + k log k), not a full
+    sort), then orders just the selected k.  Works on a 1-D score vector
+    (returns ``(k,)`` indices) or row-wise on a 2-D score matrix
+    (returns ``(rows, k)``).  ``k`` is clamped to the number of scores.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim == 0:
+        raise ValueError("scores must be at least 1-D")
+    k = int(k)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    n = scores.shape[-1]
+    k = min(k, n)
+    kth = min(k, n - 1)
+    top = np.argpartition(-scores, kth, axis=-1)[..., :k]
+    top_scores = np.take_along_axis(scores, top, axis=-1)
+    order = np.argsort(-top_scores, axis=-1, kind="stable")
+    return np.take_along_axis(top, order, axis=-1)
+
+
 def ranks_of_positives(scores: np.ndarray) -> np.ndarray:
     """Zero-based rank of the positive (column 0) within each row.
 

@@ -1,6 +1,6 @@
 """Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Five sweeps, each answering one question about the engine's hot path:
+Six sweeps, each answering one question about the engine's hot path:
 
 * :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
   (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
@@ -16,8 +16,12 @@ Five sweeps, each answering one question about the engine's hot path:
 * :func:`run_minibatch_bench` — full-graph vs sampled-minibatch training
   throughput at several fan-outs (prefetch on), plus a micro-benchmark
   of the vectorized ``expand_neighborhood`` against its loop oracle.
+* :func:`run_optimizer_bench` — dense vs lazy (row-sparse) optimizer
+  updates: an end-to-end minibatch training A/B in the optimizer-bound
+  regime (small batch closure against the full embedding tables), plus
+  an Adam step-rate micro-benchmark across touched-row fractions.
 
-:func:`run_engine_suite` runs all five and persists them under one
+:func:`run_engine_suite` runs all six and persists them under one
 preset key in ``BENCH_engine.json``.  The artifact groups results by
 preset — ``{"presets": {"tiny": {...}, "medium": {...}}}`` — and writes
 merge on top of the existing file, so a tiny-scale smoke refresh never
@@ -55,6 +59,7 @@ class EngineBenchResults:
     dtype_sweep: Dict[str, Dict[str, float]] = field(default_factory=dict)
     thread_sweep: Dict[str, float] = field(default_factory=dict)
     minibatch: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    optimizer: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -115,6 +120,23 @@ class EngineBenchResults:
                 lines.append(
                     f"  expand_neighborhood fast-over-loop: "
                     f"{expand['speedup']:.1f}x")
+        if self.optimizer:
+            lazy = self.optimizer.get("training_lazy", {})
+            dense = self.optimizer.get("training_dense", {})
+            if lazy and dense:
+                lines.append(
+                    f"optimizer: dense {dense['epochs_per_sec']:.3f} ep/s, "
+                    f"lazy {lazy['epochs_per_sec']:.3f} ep/s "
+                    f"({lazy.get('speedup_over_dense', 0.0):.2f}x, "
+                    f"touched {lazy.get('touched_row_fraction', 1.0):.3f})")
+            for name in sorted(self.optimizer):
+                if not name.startswith("rows_"):
+                    continue
+                stats = self.optimizer[name]
+                lines.append(
+                    f"  {name}: dense {stats['dense_steps_per_sec']:.0f} "
+                    f"steps/s, lazy {stats['lazy_steps_per_sec']:.0f} steps/s "
+                    f"({stats['speedup']:.2f}x)")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -127,6 +149,7 @@ class EngineBenchResults:
             "dtype_sweep": self.dtype_sweep,
             "thread_sweep": self.thread_sweep,
             "minibatch": self.minibatch,
+            "optimizer": self.optimizer,
         }
 
     def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
@@ -424,6 +447,125 @@ def run_minibatch_bench(
     return section
 
 
+def run_optimizer_bench(
+        preset: str = "medium",
+        epochs: int = 2,
+        batches_per_epoch: Optional[int] = 12,
+        batch_size: int = 32,
+        embed_dim: int = 64,
+        num_layers: int = 1,
+        fanout: int = 5,
+        repeats: int = 3,
+        row_fractions: Sequence[float] = (0.01, 0.05, 0.25, 1.0),
+        step_repeats: int = 20,
+        seed: int = 0,
+        context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Dense vs lazy (row-sparse) optimizer updates — sweep 6.
+
+    Two measurements:
+
+    * **Training A/B** — the identical LightGCN minibatch workload (fast
+      backend, same seeds, same triple stream, prefetch off) trains once
+      with dense gradients and once with the row-sparse path
+      (``sparse_grads=True``, lazy Adam).  The defaults put the run in
+      the optimizer-bound regime the sweep exists to measure: a small
+      batch whose 1-hop closure touches a few percent of the embedding
+      tables, so the dense arm's per-step cost is dominated by the
+      O(N·d) scatter + clip + Adam update that lazy replaces with
+      O(touched·d).  Per arm the best epoch time over ``repeats``
+      interleaved trainings is kept (single-host timer noise).
+    * **Step-rate micro-benchmark** — one Adam step on an ``(N, d)``
+      table (``N`` = the preset's user+item count) at several
+      touched-row fractions, timing the full per-step gradient cost of
+      each path: dense scatter + dense clip + dense update vs
+      ``RowSparseGrad`` build + sparse clip + lazy update.
+    """
+    from repro.autograd.sparse import RowSparseGrad
+    from repro.nn.module import Parameter
+    from repro.nn.optim import Adam, clip_grad_norm
+
+    if context is None:
+        context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+
+    def _train(sparse: bool) -> Dict[str, float]:
+        graph = context.variant_graph()
+        get_cache().clear()
+        config = default_train_config(
+            epochs=epochs, batch_size=batch_size,
+            batches_per_epoch=batches_per_epoch, eval_every=max(epochs, 1),
+            patience=None, seed=seed, prefetch=False,
+            propagation="minibatch", fanout=fanout, sparse_grads=sparse)
+        with use_backend("fast"):
+            model = create_model("lightgcn", graph, embed_dim=embed_dim,
+                                 seed=seed, num_layers=num_layers)
+            trainer = Trainer(model, context.split, config, context.candidates)
+            history = trainer.fit()
+        return {
+            "seconds_per_epoch": min(history.train_seconds),
+            "touched_row_fraction": history.mean_touched_row_fraction(),
+        }
+
+    # Interleave the arms so drift on a shared host hits both equally.
+    best: Dict[str, Dict[str, float]] = {}
+    for _ in range(max(1, repeats)):
+        for name, sparse in (("training_dense", False), ("training_lazy", True)):
+            stats = _train(sparse)
+            if (name not in best
+                    or stats["seconds_per_epoch"]
+                    < best[name]["seconds_per_epoch"]):
+                best[name] = stats
+    section: Dict[str, Dict[str, float]] = {}
+    for name, stats in best.items():
+        seconds = stats["seconds_per_epoch"]
+        section[name] = {
+            "seconds_per_epoch": seconds,
+            "epochs_per_sec": 1.0 / seconds if seconds > 0 else 0.0,
+            "touched_row_fraction": stats["touched_row_fraction"],
+        }
+    dense_seconds = section["training_dense"]["seconds_per_epoch"]
+    lazy_seconds = section["training_lazy"]["seconds_per_epoch"]
+    section["training_lazy"]["speedup_over_dense"] = (
+        dense_seconds / lazy_seconds if lazy_seconds > 0 else float("inf"))
+
+    num_rows = context.dataset.num_users + context.dataset.num_items
+    rng = np.random.default_rng(seed)
+    for fraction in row_fractions:
+        k = max(1, int(round(num_rows * float(fraction))))
+        k = min(k, num_rows)
+        rows = np.sort(rng.choice(num_rows, size=k, replace=False))
+        values = rng.standard_normal((k, embed_dim))
+
+        def _steps_per_sec(lazy: bool) -> float:
+            param = Parameter(rng.standard_normal((num_rows, embed_dim)))
+            optim = Adam([param], lr=0.01)
+            best_step = float("inf")
+            for _ in range(max(1, step_repeats)):
+                start = time.perf_counter()
+                if lazy:
+                    param.grad = RowSparseGrad(rows, values.copy(), num_rows,
+                                               coalesced=True)
+                else:
+                    dense = np.zeros((num_rows, embed_dim))
+                    np.add.at(dense, rows, values)
+                    param.grad = dense
+                clip_grad_norm([param], 5.0)
+                optim.step()
+                best_step = min(best_step, time.perf_counter() - start)
+            return 1.0 / best_step if best_step > 0 else 0.0
+
+        dense_rate = _steps_per_sec(lazy=False)
+        lazy_rate = _steps_per_sec(lazy=True)
+        section[f"rows_{fraction:g}"] = {
+            "rows": float(k),
+            "dense_steps_per_sec": dense_rate,
+            "lazy_steps_per_sec": lazy_rate,
+            "speedup": (lazy_rate / dense_rate if dense_rate > 0
+                        else float("inf")),
+        }
+    return section
+
+
 def run_engine_suite(
         preset: str = "medium",
         epochs: int = 2,
@@ -435,7 +577,7 @@ def run_engine_suite(
         backends: Sequence[str] = BACKENDS,
         minibatch_fanouts: Sequence[int] = (5, 10, 20),
         output_path: Optional[Path] = None) -> EngineBenchResults:
-    """All five engine sweeps on one shared context; optionally persisted."""
+    """All six engine sweeps on one shared context; optionally persisted."""
     context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
     results = run_engine_throughput(
         preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
@@ -454,6 +596,8 @@ def run_engine_suite(
         preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
         batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
         fanouts=minibatch_fanouts, seed=seed, context=context)
+    results.optimizer = run_optimizer_bench(
+        preset=preset, epochs=epochs, seed=seed, context=context)
     if output_path is not None:
         results.write_json(Path(output_path), preset=preset)
     return results

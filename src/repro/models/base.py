@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.engine.backends import get_backend
+from repro.eval.metrics import top_k_indices
 from repro.engine.propagate import bpr_terms
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.nn.module import Module
@@ -202,5 +203,4 @@ class Recommender(Module):
             seen = self.graph.interaction[int(user)].indices
             scores = scores.copy()
             scores[seen] = -np.inf
-        top = np.argpartition(-scores, min(top_n, len(scores) - 1))[:top_n]
-        return top[np.argsort(-scores[top])]
+        return top_k_indices(scores, top_n)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.autograd import no_grad
 from repro.autograd.tensor import Tensor
+from repro.eval.metrics import top_k_indices
 from repro.models.dgnn import DGNN
 
 
@@ -161,5 +162,4 @@ def recommend_cold_user(model: DGNN, friend_ids: Sequence[int],
     user_vector = embed_cold_user(model, friend_ids)
     _, item_emb = model.final_embeddings()
     scores = item_emb @ user_vector
-    top = np.argpartition(-scores, min(top_n, len(scores) - 1))[:top_n]
-    return top[np.argsort(-scores[top])]
+    return top_k_indices(scores, top_n)

@@ -9,7 +9,12 @@ from repro.train.pipeline import (
     PrefetchPipeline,
     prefetch_enabled,
 )
-from repro.train.checkpoint import save_checkpoint, load_checkpoint, restore_model
+from repro.train.checkpoint import (
+    save_checkpoint,
+    load_checkpoint,
+    restore_model,
+    restore_optimizer,
+)
 from repro.train.search import grid_search, GridSearchReport, SearchResult, paper_tuning_grid
 from repro.train.pretrain import PretrainConfig, pretrain_embeddings, apply_pretrained
 
@@ -25,6 +30,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "restore_model",
+    "restore_optimizer",
     "grid_search",
     "GridSearchReport",
     "SearchResult",

@@ -17,31 +17,69 @@ import numpy as np
 PathLike = Union[str, os.PathLike]
 
 _META_KEY = "__checkpoint_meta__"
+_OPTIM_PREFIX = "__optim__/"
 
 
 def save_checkpoint(model, path: PathLike, epoch: int = -1,
                     metrics: Optional[Dict[str, float]] = None,
-                    extra: Optional[Dict[str, object]] = None) -> None:
-    """Write ``model``'s parameters and metadata to ``path`` (.npz)."""
+                    extra: Optional[Dict[str, object]] = None,
+                    optimizer=None) -> None:
+    """Write ``model``'s parameters and metadata to ``path`` (.npz).
+
+    When ``optimizer`` is given, its :meth:`~repro.nn.optim.Optimizer.
+    state_dict` (moments, velocities, per-row lazy-update counters) is
+    stored under a namespaced prefix so training can resume exactly —
+    including the lazy optimizers' bias-correction and weight-decay
+    catch-up bookkeeping.
+    """
     payload = {name: values for name, values in model.state_dict().items()}
+    if optimizer is not None:
+        for name, values in optimizer.state_dict().items():
+            payload[_OPTIM_PREFIX + name] = values
     meta = {
         "model_name": getattr(model, "name", type(model).__name__),
         "embed_dim": getattr(model, "embed_dim", None),
         "epoch": int(epoch),
         "metrics": metrics or {},
         "extra": extra or {},
+        "has_optimizer": optimizer is not None,
     }
     payload[_META_KEY] = np.asarray(json.dumps(meta))
     np.savez_compressed(Path(path), **payload)
 
 
 def load_checkpoint(path: PathLike) -> Tuple[Dict[str, np.ndarray], Dict]:
-    """Read a checkpoint; returns ``(state_dict, metadata)``."""
+    """Read a checkpoint; returns ``(state_dict, metadata)``.
+
+    Optimizer entries (if saved) are split out of the model state and
+    returned under ``metadata["optimizer_state"]``.
+    """
     with np.load(Path(path), allow_pickle=False) as archive:
         meta = json.loads(str(archive[_META_KEY]))
-        state = {name: archive[name] for name in archive.files
-                 if name != _META_KEY}
+        state = {}
+        optim_state = {}
+        for name in archive.files:
+            if name == _META_KEY:
+                continue
+            if name.startswith(_OPTIM_PREFIX):
+                optim_state[name[len(_OPTIM_PREFIX):]] = archive[name]
+            else:
+                state[name] = archive[name]
+    meta["optimizer_state"] = optim_state
     return state, meta
+
+
+def restore_optimizer(optimizer, path: PathLike) -> Dict:
+    """Load a checkpoint's optimizer state into ``optimizer``.
+
+    Returns the checkpoint metadata.  Raises ``ValueError`` when the
+    checkpoint was saved without an optimizer.
+    """
+    _, meta = load_checkpoint(path)
+    if not meta.get("has_optimizer"):
+        raise ValueError(f"checkpoint {path} holds no optimizer state")
+    optimizer.load_state_dict(meta["optimizer_state"])
+    return meta
 
 
 def restore_model(model, path: PathLike, strict_name: bool = True) -> Dict:

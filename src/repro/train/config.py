@@ -20,11 +20,15 @@ class TrainConfig:
     learning_rate: float = 0.01
     l2: float = 1e-4
     weight_decay: float = 0.0  # Eq. 11's λ||Θ||², applied through Adam
+    optimizer: str = "adam"  # "adam" (Section V-A4) or "sgd" (Alg. 1 box)
+    momentum: float = 0.0  # SGD momentum (ignored by Adam)
     batches_per_epoch: Optional[int] = None  # None -> cover the training set once
     propagation: str = "full"  # "full" (Alg. 1) or "minibatch" (sampled)
     hops: Optional[int] = None  # minibatch closure depth; None -> model's exact depth
     fanout: Optional[int] = 20  # per-node neighbour cap; None -> keep all
     prefetch: Optional[bool] = None  # None -> REPRO_PREFETCH env (default on)
+    sparse_grads: Optional[bool] = None  # None -> on for minibatch, off for full
+    sparse_adam_mode: str = "lazy"  # "lazy" (O(batch) steps) or "dense_correct"
     eval_every: int = 1
     eval_ks: Tuple[int, ...] = (5, 10, 20)
     early_stopping_metric: str = "hr@10"
@@ -48,6 +52,23 @@ class TrainConfig:
             raise ValueError("hops must be >= 0")
         if self.fanout is not None and self.fanout <= 0:
             raise ValueError("fanout must be positive (or None to keep all)")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        if self.sparse_adam_mode not in ("lazy", "dense_correct"):
+            raise ValueError(
+                "sparse_adam_mode must be 'lazy' or 'dense_correct'")
+
+    def resolved_sparse_grads(self) -> bool:
+        """Whether this run produces row-sparse embedding gradients.
+
+        Defaults to on exactly when the sampled propagation path is
+        selected — that is where embedding lookups touch O(batch) rows
+        and the lazy optimizers pay off.  Full-graph propagation updates
+        every row anyway, so sparse carriers would only add overhead.
+        """
+        if self.sparse_grads is not None:
+            return bool(self.sparse_grads)
+        return self.propagation == "minibatch"
 
 
 @dataclass

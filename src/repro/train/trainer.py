@@ -25,12 +25,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.autograd.sparse import use_sparse_grads
 from repro.data.sampling import BprSampler, EvalCandidates, build_eval_candidates
 from repro.data.split import Split
 from repro.engine import instrument
 from repro.eval.protocol import evaluate_model
 from repro.models.base import Recommender
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.train.config import TrainConfig
 from repro.train.early_stopping import EarlyStopping
 from repro.train.pipeline import (
@@ -52,6 +53,7 @@ class TrainingHistory:
     compute_seconds: List[float] = field(default_factory=list)
     eval_seconds: List[float] = field(default_factory=list)
     kernel_counters: List[Dict[str, float]] = field(default_factory=list)
+    touched_row_fractions: List[float] = field(default_factory=list)
     best_epoch: int = -1
     best_metrics: Dict[str, float] = field(default_factory=dict)
 
@@ -84,6 +86,16 @@ class TrainingHistory:
     def mean_compute_seconds(self) -> float:
         """Average per-epoch time spent in forward/backward/step."""
         return sum(self.compute_seconds) / max(len(self.compute_seconds), 1)
+
+    def mean_touched_row_fraction(self) -> float:
+        """Average fraction of parameter rows each optimizer step updated.
+
+        1.0 under dense training; ``O(batch/graph)`` under the row-sparse
+        minibatch path — the direct measure of what lazy updates save.
+        """
+        if not self.touched_row_fractions:
+            return 1.0
+        return sum(self.touched_row_fractions) / len(self.touched_row_fractions)
 
     def total_kernel_counters(self) -> Dict[str, float]:
         """Sum of the per-epoch kernel counter deltas over the whole run."""
@@ -121,8 +133,18 @@ class Trainer:
             split, seed=self.config.seed)
         self.sampler = BprSampler(split, batch_size=self.config.batch_size,
                                   seed=self.config.seed)
-        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
-                              weight_decay=self.config.weight_decay)
+        if self.config.optimizer == "sgd":
+            self.optimizer = SGD(model.parameters(),
+                                 lr=self.config.learning_rate,
+                                 momentum=self.config.momentum,
+                                 weight_decay=self.config.weight_decay)
+        else:
+            self.optimizer = Adam(model.parameters(),
+                                  lr=self.config.learning_rate,
+                                  weight_decay=self.config.weight_decay,
+                                  sparse_mode=self.config.sparse_adam_mode)
+        self._sparse_grads = self.config.resolved_sparse_grads()
+        self._epoch_touched: List[float] = []
         self._planner: Optional[MinibatchPlanner] = None
         if self.config.propagation == "minibatch":
             if not model.supports_minibatch():
@@ -143,6 +165,7 @@ class Trainer:
         if self.config.clip_norm is not None:
             clip_grad_norm(self.model.parameters(), self.config.clip_norm)
         self.optimizer.step()
+        self._epoch_touched.append(self.optimizer.touched_fraction())
 
     def _full_epoch(self, batches: int) -> Tuple[float, float, float]:
         """Alg. 1: full-graph propagation per batch."""
@@ -207,17 +230,21 @@ class Trainer:
             start = time.perf_counter()
             self.model.train()
             counters_before = instrument.snapshot()
-            if self._planner is not None:
-                epoch_loss, sample_seconds, compute_seconds = (
-                    self._minibatch_epoch(epoch, batches))
-            else:
-                epoch_loss, sample_seconds, compute_seconds = (
-                    self._full_epoch(batches))
+            self._epoch_touched = []
+            with use_sparse_grads(self._sparse_grads):
+                if self._planner is not None:
+                    epoch_loss, sample_seconds, compute_seconds = (
+                        self._minibatch_epoch(epoch, batches))
+                else:
+                    epoch_loss, sample_seconds, compute_seconds = (
+                        self._full_epoch(batches))
             self.model.invalidate_cache()
             history.losses.append(epoch_loss / batches)
             history.train_seconds.append(time.perf_counter() - start)
             history.sample_seconds.append(sample_seconds)
             history.compute_seconds.append(compute_seconds)
+            history.touched_row_fractions.append(
+                sum(self._epoch_touched) / max(len(self._epoch_touched), 1))
             history.kernel_counters.append(
                 instrument.delta(counters_before, instrument.snapshot()))
 

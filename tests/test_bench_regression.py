@@ -73,3 +73,62 @@ def test_fresh_tiny_bench_within_regression_budget(tmp_path):
         if not problems:
             break
     assert problems == [], f"persistent regression after retries: {problems}"
+
+
+def _baseline_with_optimizer(speedup=2.5, preset="large"):
+    return {"presets": {preset: {
+        "backends": {"fast": {"epochs_per_sec": 100.0}},
+        "optimizer": {
+            "training_dense": {"epochs_per_sec": 10.0},
+            "training_lazy": {"epochs_per_sec": 25.0,
+                              "speedup_over_dense": speedup},
+            "rows_0.01": {"dense_steps_per_sec": 100.0,
+                          "lazy_steps_per_sec": 5000.0,
+                          "speedup": 50.0},
+        },
+    }}}
+
+
+def test_compare_flags_optimizer_step_rate_regression():
+    baseline = _baseline_with_optimizer()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["optimizer"]["rows_0.01"][
+        "lazy_steps_per_sec"] = 1000.0
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("lazy_steps_per_sec" in p for p in problems)
+
+
+def test_compare_enforces_lazy_speedup_floor_on_large():
+    baseline = _baseline_with_optimizer(speedup=2.5)
+    fresh = _baseline_with_optimizer(speedup=1.5)
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("floor" in p for p in problems)
+    # The floor binds the committed baseline too.
+    problems = check_regression.compare(_baseline_with_optimizer(1.5),
+                                        _baseline_with_optimizer(2.5))
+    assert problems and any("floor" in p for p in problems)
+
+
+def test_compare_floor_only_applies_to_large():
+    baseline = _baseline_with_optimizer(speedup=1.1, preset="tiny")
+    fresh = _baseline_with_optimizer(speedup=1.05, preset="tiny")
+    assert check_regression.compare(baseline, fresh) == []
+
+
+def test_compare_reports_missing_section_clearly():
+    baseline = _baseline_with_optimizer()
+    fresh = {"presets": {"large": {
+        "backends": {"fast": {"epochs_per_sec": 100.0}}}}}
+    problems = check_regression.compare(baseline, fresh)
+    assert problems
+    assert any("expected section 'optimizer' is missing" in p
+               for p in problems)
+
+
+def test_compare_skips_empty_section_as_not_run():
+    # An empty dict means "sweep not run" (e.g. the tiny smoke run in
+    # tier-1) and must not trip the missing-section check.
+    baseline = _baseline_with_optimizer()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["optimizer"] = {}
+    assert check_regression.compare(baseline, fresh) == []

@@ -54,3 +54,40 @@ class TestExtrasInRankingMetrics:
         assert metrics["precision@10"] == pytest.approx(metrics["hr@10"] / 10)
         assert 0.0 <= metrics["mrr"] <= 1.0
         assert 0.0 <= metrics["avg-rank"] <= 20
+
+
+class TestTopKIndices:
+    def setup_method(self):
+        from repro.eval import top_k_indices
+
+        self.top_k = top_k_indices
+
+    def test_1d_matches_full_argsort(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal(50)
+        np.testing.assert_array_equal(self.top_k(scores, 7),
+                                      np.argsort(-scores)[:7])
+
+    def test_2d_rowwise_matches_full_argsort(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal((6, 30))
+        np.testing.assert_array_equal(self.top_k(scores, 5),
+                                      np.argsort(-scores, axis=1)[:, :5])
+
+    def test_k_clamped_to_width(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(self.top_k(scores, 10), [0, 2, 1])
+
+    def test_k_equals_width(self):
+        scores = np.array([[1.0, 3.0], [2.0, 0.0]])
+        np.testing.assert_array_equal(self.top_k(scores, 2), [[1, 0], [0, 1]])
+
+    def test_neg_inf_masked_entries_excluded(self):
+        scores = np.array([5.0, -np.inf, 4.0, -np.inf, 3.0])
+        np.testing.assert_array_equal(self.top_k(scores, 3), [0, 2, 4])
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            self.top_k(np.float64(1.0), 3)
+        with pytest.raises(ValueError):
+            self.top_k(np.array([1.0, 2.0]), 0)

@@ -194,3 +194,26 @@ class TestAnalysis:
         assert degrees == sorted(degrees)
         pops = [g["mean_popularity"] for g in by_pop]
         assert pops == sorted(pops)
+
+    def test_topk_agrees_with_recommend(self, trained_dgnn, tiny_split):
+        from repro.eval import full_ranking_topk
+
+        users = tiny_split.test_users[:5]
+        top = full_ranking_topk(trained_dgnn, tiny_split, users=users,
+                                top_n=10)
+        assert top.shape == (5, 10)
+        for row, user in enumerate(users):
+            np.testing.assert_array_equal(
+                top[row], trained_dgnn.recommend(int(user), top_n=10))
+
+    def test_topk_unmasked_includes_train_items(self, trained_dgnn,
+                                                tiny_split):
+        from repro.eval import full_ranking_topk
+
+        users = tiny_split.test_users[:5]
+        masked = full_ranking_topk(trained_dgnn, tiny_split, users=users,
+                                   top_n=10, mask_train=True)
+        train = tiny_split.train_matrix().tocsr()
+        for row, user in enumerate(users):
+            seen = set(train[int(user)].indices)
+            assert not seen.intersection(masked[row])

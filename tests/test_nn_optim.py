@@ -117,3 +117,52 @@ class TestOptimizerBase:
         p = _param([0.0])
         with pytest.raises(NotImplementedError):
             Optimizer([p], lr=0.1).step()
+
+
+class TestFoldedAdamTrajectory:
+    """The in-place dense Adam folds bias correction into a scalar step
+    size instead of materializing m_hat/v_hat temporaries; the trajectory
+    must match the textbook update to rounding error over many steps."""
+
+    @staticmethod
+    def _reference(p0, grads, lr, betas, eps, wd):
+        theta = np.asarray(p0, dtype=np.float64).copy()
+        m = np.zeros_like(theta)
+        v = np.zeros_like(theta)
+        trajectory = []
+        for t, g in enumerate(grads, 1):
+            g = np.asarray(g, dtype=np.float64)
+            if wd:
+                g = g + wd * theta
+            m = betas[0] * m + (1 - betas[0]) * g
+            v = betas[1] * v + (1 - betas[1]) * g * g
+            m_hat = m / (1 - betas[0] ** t)
+            v_hat = v / (1 - betas[1] ** t)
+            theta = theta - lr * m_hat / (np.sqrt(v_hat) + eps)
+            trajectory.append(theta.copy())
+        return trajectory
+
+    @pytest.mark.parametrize("wd", [0.0, 0.01])
+    def test_trajectory_parity_with_textbook_adam(self, wd):
+        rng = np.random.default_rng(42)
+        p0 = rng.standard_normal((8, 4))
+        grads = [rng.standard_normal((8, 4)) for _ in range(50)]
+        lr, betas, eps = 0.05, (0.9, 0.999), 1e-8
+        p = Parameter(p0.copy())
+        opt = Adam([p], lr=lr, betas=betas, eps=eps, weight_decay=wd)
+        expected = self._reference(p0, grads, lr, betas, eps, wd)
+        for g, want in zip(grads, expected):
+            p.grad = g.copy()
+            opt.step()
+            np.testing.assert_allclose(p.data, want, rtol=1e-12, atol=1e-14)
+
+    def test_step_does_not_allocate_mhat_vhat_copies(self):
+        # The folded update mutates the denominator buffer in place; the
+        # optimizer state after a step must still be raw m and v (not the
+        # bias-corrected variants).
+        p = _param([[1.0, 2.0]])
+        p.grad = np.array([[0.5, -0.25]])
+        opt = Adam([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(opt._m[0], 0.1 * p.grad)
+        np.testing.assert_allclose(opt._v[0], 0.001 * p.grad ** 2)
