@@ -50,11 +50,18 @@ _OPTIMIZER_KEYS = ("epochs_per_sec", "speedup_over_dense",
 # beat dense Adam by at least this factor at these presets, in the
 # committed artifact and in any fresh re-bench that runs the sweep.
 _LAZY_SPEEDUP_FLOORS = {"large": 2.0}
+# Hard floors on the sweep-7 peak-RSS reduction: the production
+# configuration (float32 + int32 indices + buffer arena) must use at
+# least this fraction less peak memory than the allocate-fresh
+# float64/int64 oracle at these presets.  Enforced on both the committed
+# artifact and any fresh re-bench that runs the sweep, alongside the
+# training-loss-trajectory parity flag the sweep records.
+_MEMORY_RSS_FLOORS = {"large": 0.30}
 # Per-preset sections the artifact is built from; used to report a
 # *missing* section (key absent) distinctly from one that was not run
 # (present but empty), which is normal for partial smoke refreshes.
 _SECTIONS = ("backends", "memory_kernel", "dtype_sweep", "thread_sweep",
-             "minibatch", "optimizer")
+             "minibatch", "optimizer", "memory")
 
 
 def _presets(payload: Dict) -> Dict[str, Dict]:
@@ -153,6 +160,26 @@ def compare(baseline: Dict, fresh: Dict,
                         f"{preset}/optimizer/training_lazy ({label}): "
                         f"lazy-over-dense speedup {speedup:.2f}x is below "
                         f"the required {floor:.1f}x floor")
+        rss_floor = _MEMORY_RSS_FLOORS.get(preset)
+        for label, sections in (("baseline", base_presets[preset]),
+                                ("fresh", fresh_presets[preset])):
+            memory = sections.get("memory")
+            if not isinstance(memory, dict) or not memory:
+                continue
+            reduction = memory.get("rss_reduction_vs_oracle")
+            if (rss_floor is not None and reduction is not None
+                    and reduction < rss_floor):
+                problems.append(
+                    f"{preset}/memory ({label}): peak-RSS reduction "
+                    f"{100 * reduction:.1f}% vs the float64/int64 oracle is "
+                    f"below the required {100 * rss_floor:.0f}% floor")
+            parity = memory.get("loss_parity_ok")
+            if parity is False:
+                problems.append(
+                    f"{preset}/memory ({label}): production loss trajectory "
+                    f"diverged from the oracle beyond float32 tolerances "
+                    f"(max_rel_loss_diff="
+                    f"{memory.get('max_rel_loss_diff', float('nan')):.3g})")
     return problems
 
 

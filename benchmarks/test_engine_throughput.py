@@ -23,6 +23,7 @@ from conftest import MODE, publish
 from repro.experiments.engine_bench import (
     EngineBenchResults,
     run_engine_suite,
+    run_memory_bench,
     run_minibatch_bench,
 )
 
@@ -89,3 +90,51 @@ def test_minibatch_throughput_large():
                    for name, stats in section.items()
                    if name.startswith("fanout_"))
         assert best >= 3.0
+
+
+_MEMORY_SCALES = {
+    "smoke": dict(preset="tiny", epochs=1, batches_per_epoch=2,
+                  batch_size=128, embed_dim=16, num_layers=1),
+    "quick": dict(preset="large", epochs=2),
+    "full": dict(preset="large", epochs=2),
+}
+
+
+@pytest.mark.engine_throughput
+def test_memory_scale_production_vs_oracle():
+    """Sweep 7: peak RSS of float32+int32+arena vs the float64/int64 oracle.
+
+    Both arms run the identical big-embedding training workload in
+    separate subprocesses; the acceptance bar at ``large`` is a >= 30%
+    peak-RSS reduction with the loss trajectory inside float32
+    tolerances.  At smoke scale the interpreter baseline dominates RSS,
+    so only the parity half of the assertion applies.
+    """
+    scale = _MEMORY_SCALES.get(MODE, _MEMORY_SCALES["quick"])
+    preset = scale["preset"]
+    section = run_memory_bench(**scale)
+    results = EngineBenchResults(dataset_name=preset, epochs=scale["epochs"],
+                                 memory=section)
+    results.write_json(REPO_ROOT / "BENCH_engine.json", preset=preset)
+    publish(f"bench_memory_{preset}", results.render())
+
+    assert section["loss_parity_ok"]
+    if preset == "large":
+        assert section["rss_reduction_vs_oracle"] >= 0.30
+
+
+@pytest.mark.engine_throughput
+def test_memory_scale_xlarge_end_to_end():
+    """The 1M+ node leg: chunked generation through minibatch training."""
+    if MODE == "smoke":
+        pytest.skip("xlarge leg is quick/full scale only")
+    section = run_memory_bench(preset="xlarge", epochs=1)
+    results = EngineBenchResults(dataset_name="xlarge", epochs=1,
+                                 memory=section)
+    results.write_json(REPO_ROOT / "BENCH_engine.json", preset="xlarge")
+    publish("bench_memory_xlarge", results.render())
+
+    production = section["production"]
+    assert production["num_nodes"] >= 1_000_000
+    assert production["peak_rss_mb"] > 0
+    assert all(l > 0 for l in production["losses"])

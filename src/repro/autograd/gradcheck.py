@@ -3,6 +3,15 @@
 These helpers make the engine's correctness *testable*: every op and every
 model layer in the repository is validated against central differences in
 the test suite.
+
+The check always runs in ``float64``, whatever the engine precision
+policy says: :func:`gradcheck` verifies the *structure* of the backward
+graph, and a ``1e-6`` central-difference step is meaningless in
+``float32``, where the perturbation itself drowns in rounding.  Inputs
+are upcast for the duration of the check and restored afterwards, and
+the engine dtype is pinned to ``float64`` so temporaries allocated
+inside ``fn`` match — which is what lets the same gradcheck suite run
+under the float32 CI leg unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.engine.precision import use_dtype
 
 
 def numerical_gradient(fn: Callable[..., Tensor], tensors: Sequence[Tensor],
@@ -33,14 +43,19 @@ def numerical_gradient(fn: Callable[..., Tensor], tensors: Sequence[Tensor],
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
-    for position in range(flat.size):
-        original = flat[position]
-        flat[position] = original + eps
-        upper = fn(*tensors).item()
-        flat[position] = original - eps
-        lower = fn(*tensors).item()
-        flat[position] = original
-        grad_flat[position] = (upper - lower) / (2.0 * eps)
+    # Pin the engine dtype for the whole evaluation: temporaries created
+    # inside ``fn`` follow the active policy, and a float32 temporary
+    # quantizes away the eps-sized perturbation even when the inputs
+    # themselves are float64.
+    with use_dtype("float64"):
+        for position in range(flat.size):
+            original = flat[position]
+            flat[position] = original + eps
+            upper = fn(*tensors).item()
+            flat[position] = original - eps
+            lower = fn(*tensors).item()
+            flat[position] = original
+            grad_flat[position] = (upper - lower) / (2.0 * eps)
     return grad
 
 
@@ -51,21 +66,31 @@ def gradcheck(fn: Callable[..., Tensor], tensors: Sequence[Tensor],
     Raises ``AssertionError`` with a diagnostic message on mismatch and
     returns ``True`` on success so it can be used directly in assertions.
     """
-    for tensor in tensors:
-        tensor.grad = None
-    output = fn(*tensors)
-    if output.size != 1:
-        raise ValueError("gradcheck requires fn to return a scalar tensor")
-    output.backward()
-    for position, tensor in enumerate(tensors):
-        if not tensor.requires_grad:
-            continue
-        expected = numerical_gradient(fn, tensors, position, eps=eps)
-        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
-        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
-            worst = float(np.abs(actual - expected).max())
-            raise AssertionError(
-                f"gradient mismatch for input {position}: max abs error {worst:.3e}\n"
-                f"autograd:\n{actual}\nnumerical:\n{expected}"
-            )
+    originals = [tensor.data for tensor in tensors]
+    with use_dtype("float64"):
+        try:
+            for tensor in tensors:
+                tensor.data = tensor.data.astype(np.float64, copy=False)
+                tensor.grad = None
+            output = fn(*tensors)
+            if output.size != 1:
+                raise ValueError(
+                    "gradcheck requires fn to return a scalar tensor")
+            output.backward()
+            for position, tensor in enumerate(tensors):
+                if not tensor.requires_grad:
+                    continue
+                expected = numerical_gradient(fn, tensors, position, eps=eps)
+                actual = (tensor.grad if tensor.grad is not None
+                          else np.zeros_like(tensor.data))
+                if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+                    worst = float(np.abs(actual - expected).max())
+                    raise AssertionError(
+                        f"gradient mismatch for input {position}: "
+                        f"max abs error {worst:.3e}\n"
+                        f"autograd:\n{actual}\nnumerical:\n{expected}"
+                    )
+        finally:
+            for tensor, data in zip(tensors, originals):
+                tensor.data = data
     return True

@@ -33,8 +33,10 @@ import scipy.sparse as sp
 
 from repro.autograd.sparse import RowSparseGrad, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.engine import arena
 from repro.engine.adjcache import cached_transpose
 from repro.engine.backends import get_backend
+from repro.engine.precision import as_index_array
 
 Axis = Union[None, int, Tuple[int, ...]]
 
@@ -293,7 +295,7 @@ def getitem(a, index) -> Tensor:
 
     def factory(out: Tensor):
         def backward():
-            grad = np.zeros_like(a.data)
+            grad = arena.zeros(a.data.shape, a.data.dtype)
             np.add.at(grad, index, out.grad)
             a._accumulate(grad)
 
@@ -312,7 +314,7 @@ def gather_rows(a, indices) -> Tensor:
     engine counters and optimizable per backend.
     """
     a = as_tensor(a)
-    indices = np.asarray(indices, dtype=np.int64)
+    indices = as_index_array(indices, a.shape[0])
     data = get_backend().gather_rows(a.data, indices)
 
     def factory(out: Tensor):
@@ -346,8 +348,8 @@ def gathered_rowwise_dot(a, b, a_indices, b_indices) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError("gathered_rowwise_dot expects 2-D embedding tables")
-    a_indices = np.asarray(a_indices, dtype=np.int64)
-    b_indices = np.asarray(b_indices, dtype=np.int64)
+    a_indices = as_index_array(a_indices, a.shape[0])
+    b_indices = as_index_array(b_indices, b.shape[0])
     if a_indices.shape != b_indices.shape or a_indices.ndim != 1:
         raise ValueError("index arrays must be 1-D and of equal length")
     data = get_backend().gathered_rowwise_dot(a.data, a_indices,
@@ -356,10 +358,10 @@ def gathered_rowwise_dot(a, b, a_indices, b_indices) -> Tensor:
     def factory(out: Tensor):
         def backward():
             grad = out.grad.reshape(-1, 1)
-            grad_a = np.zeros_like(a.data)
+            grad_a = arena.zeros(a.data.shape, a.data.dtype)
             np.add.at(grad_a, a_indices, grad * b.data[b_indices])
             a._accumulate(grad_a)
-            grad_b = np.zeros_like(b.data)
+            grad_b = arena.zeros(b.data.shape, b.data.dtype)
             np.add.at(grad_b, b_indices, grad * a.data[a_indices])
             b._accumulate(grad_b)
 
@@ -476,7 +478,7 @@ def segment_sum(a, segment_ids, num_segments: int) -> Tensor:
     gradient by segment id.
     """
     a = as_tensor(a)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    segment_ids = as_index_array(segment_ids, num_segments)
     if segment_ids.ndim != 1 or segment_ids.shape[0] != a.shape[0]:
         raise ValueError("segment_ids must be 1-D and match a.shape[0]")
     data = get_backend().segment_sum(a.data, segment_ids, num_segments)
@@ -498,8 +500,8 @@ def segment_softmax(scores, segment_ids, num_segments: int, eps: float = 1e-12) 
     shift, which does not alter the softmax gradient.
     """
     scores = as_tensor(scores)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    shift = np.full(num_segments, -np.inf)
+    segment_ids = as_index_array(segment_ids, num_segments)
+    shift = np.full(num_segments, -np.inf, dtype=scores.data.dtype)
     np.maximum.at(shift, segment_ids, scores.data)
     shift[~np.isfinite(shift)] = 0.0
     shifted = sub(scores, Tensor(shift[segment_ids]))

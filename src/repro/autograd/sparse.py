@@ -33,6 +33,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.engine.backends import get_backend
+from repro.engine.precision import index_dtype_for
 
 _SPARSE_GRADS = False
 
@@ -96,12 +97,15 @@ class RowSparseGrad:
     __slots__ = ("rows", "values", "num_rows")
 
     def __init__(self, rows, values, num_rows: int, coalesced: bool = False):
-        rows = np.asarray(rows, dtype=np.int64)
+        self.num_rows = int(num_rows)
+        # Row indices follow the engine index policy (int32 unless the
+        # table is too large) — the carrier is O(batch) rows, so this
+        # halves its index footprint at every step.
+        rows = np.asarray(rows, dtype=index_dtype_for(self.num_rows))
         values = np.asarray(values)
         trailing = values.shape[rows.ndim:]
         rows = rows.reshape(-1)
         values = values.reshape((rows.size,) + trailing)
-        self.num_rows = int(num_rows)
         if rows.size and (rows.min() < 0 or rows.max() >= self.num_rows):
             raise IndexError(
                 f"row indices out of range for a table of {self.num_rows} rows")

@@ -19,7 +19,16 @@ from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.engine import arena
 from repro.engine.precision import get_dtype
+
+
+def _grad_copy(grad, dtype) -> np.ndarray:
+    """An owned copy of ``grad`` in ``dtype``, pooled inside arena scopes."""
+    source = np.asarray(grad)
+    buf = arena.empty(source.shape, dtype)
+    np.copyto(buf, source)
+    return buf
 
 _GRAD_ENABLED = True
 
@@ -176,9 +185,9 @@ class Tensor:
                 grad.add_into_dense(self.grad)
             return
         if self.grad is None:
-            self.grad = np.asarray(grad, dtype=self.data.dtype).copy()
+            self.grad = _grad_copy(grad, self.data.dtype)
         elif isinstance(self.grad, RowSparseGrad):
-            dense = np.asarray(grad, dtype=self.data.dtype).copy()
+            dense = _grad_copy(grad, self.data.dtype)
             self.grad = self.grad.add_into_dense(dense)
         else:
             self.grad += grad

@@ -12,15 +12,17 @@ from repro.data.dataset import InteractionDataset
 from repro.data.synthetic import (
     SyntheticConfig,
     generate_dataset,
+    generate_dataset_chunked,
     ciao_small,
     epinions_small,
     yelp_small,
     medium,
     large,
     tiny,
+    xlarge,
     PRESETS,
 )
-from repro.data.split import Split, leave_one_out
+from repro.data.split import Split, leave_last_out, leave_one_out
 from repro.data.sampling import BprSampler, build_eval_candidates, EvalCandidates
 from repro.data.stats import dataset_statistics, render_statistics_table
 from repro.data.loaders import save_dataset, load_dataset
@@ -30,14 +32,17 @@ __all__ = [
     "InteractionDataset",
     "SyntheticConfig",
     "generate_dataset",
+    "generate_dataset_chunked",
     "ciao_small",
     "epinions_small",
     "yelp_small",
     "medium",
     "large",
     "tiny",
+    "xlarge",
     "PRESETS",
     "Split",
+    "leave_last_out",
     "leave_one_out",
     "BprSampler",
     "EvalCandidates",

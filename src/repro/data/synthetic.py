@@ -22,7 +22,9 @@ densest in both interactions and ties, Yelp the sparsest.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, List
 
 import numpy as np
@@ -319,6 +321,144 @@ def tiny(seed: int = 0, **overrides) -> InteractionDataset:
     return generate_dataset(replace(config, **overrides) if overrides else config)
 
 
+# ----------------------------------------------------------------------
+# xlarge — the 1M+ node memory-scale preset.
+#
+# The reference generator above holds a dense ``(num_items,)`` weight
+# vector per user and loops users in Python; at a million nodes that is
+# hours of work and gigabytes of transient allocations.  The chunked
+# generator below plants the same three structural signals (community
+# homophily, category affinity, power-law popularity) with vectorized
+# per-chunk sampling and a memmap-backed edge buffer, so peak memory
+# stays at one chunk of draws regardless of graph size.
+# ----------------------------------------------------------------------
+def generate_dataset_chunked(config: SyntheticConfig,
+                             chunk_users: int = 32_768) -> InteractionDataset:
+    """Generate a large :class:`InteractionDataset` without dense intermediates.
+
+    Deterministic given ``config.seed``.  Structural simplifications
+    versus :func:`generate_dataset` (all deliberate, to stay vectorized):
+    community and category membership are arithmetic (``id % groups``)
+    rather than sampled, popularity is shared across categories, and
+    social partners are drawn intra-community with a fixed homophily
+    split.  Interactions are written chunk-by-chunk into an ``np.memmap``
+    edge buffer and deduplicated with one vectorized key pass.
+    """
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+    num_users, num_items = config.num_users, config.num_items
+    num_relations = config.num_relations
+    num_communities = config.num_communities
+
+    # Arithmetic memberships: community(u) = u % C, category(i) = i % R.
+    # Items of category c are {c, c + R, c + 2R, ...}, so (category, rank)
+    # maps to an item id without any per-category index arrays.
+    ranks_per_category = num_items // num_relations
+    # Shared within-category popularity: Zipf over ranks, one cumsum.
+    popularity = (np.arange(1, ranks_per_category + 1, dtype=np.float64)
+                  ** (-config.popularity_exponent))
+    pop_cdf = np.cumsum(popularity / popularity.sum())
+    pop_cdf[-1] = 1.0  # guard searchsorted against rounding
+    # Each community concentrates on 3 favourite categories.
+    favourites = np.stack([
+        rng.choice(num_relations, size=min(3, num_relations), replace=False)
+        for _ in range(num_communities)])
+
+    # Per-user interaction budgets, drawn once (vectorized); every user
+    # additionally gets `min_interactions` deterministic base items so
+    # leave-one-out eligibility survives deduplication.
+    budgets = np.maximum(
+        rng.poisson(config.mean_interactions, size=num_users),
+        config.min_interactions).astype(np.int64)
+    base = int(config.min_interactions)
+    total_rows = int(budgets.sum()) + base * num_users
+
+    with tempfile.TemporaryDirectory(prefix="repro-xlarge-") as tmpdir:
+        edges = np.memmap(Path(tmpdir) / "edges.dat", dtype=np.int64,
+                          mode="w+", shape=(total_rows, 2))
+        cursor = 0
+        for start in range(0, num_users, chunk_users):
+            stop = min(start + chunk_users, num_users)
+            counts = budgets[start:stop]
+            users = np.repeat(np.arange(start, stop, dtype=np.int64), counts)
+            draws = len(users)
+            communities = users % num_communities
+            # Category choice: homophilous mass on the community's three
+            # favourites, the rest uniform across all categories.
+            pick = rng.random(draws) < config.homophily
+            fav_slot = rng.integers(0, favourites.shape[1], size=draws)
+            categories = np.where(
+                pick, favourites[communities, fav_slot],
+                rng.integers(0, num_relations, size=draws))
+            ranks = np.searchsorted(pop_cdf, rng.random(draws), side="left")
+            items = categories + num_relations * ranks
+            block = len(users)
+            edges[cursor:cursor + block, 0] = users
+            edges[cursor:cursor + block, 1] = items
+            cursor += block
+            # Deterministic base interactions: spread across categories.
+            base_users = np.repeat(np.arange(start, stop, dtype=np.int64),
+                                   base)
+            offsets = np.tile(np.arange(base, dtype=np.int64), stop - start)
+            base_items = (base_users * base + offsets) % num_items
+            block = len(base_users)
+            edges[cursor:cursor + block, 0] = base_users
+            edges[cursor:cursor + block, 1] = base_items
+            cursor += block
+        # One vectorized dedupe over encoded (user, item) keys.
+        keys = np.unique(edges[:cursor, 0] * np.int64(num_items)
+                         + edges[:cursor, 1])
+        interactions = np.stack([keys // num_items, keys % num_items], axis=1)
+        del edges
+
+    # Social ties: intra-community partners (community c holds users
+    # {c, c + C, ...}), with a uniform-noise floor.
+    per_user = max(1, int(round(config.mean_social_degree / 2.0)))
+    src = np.repeat(np.arange(num_users, dtype=np.int64), per_user)
+    community_size = num_users // num_communities
+    partners = (src % num_communities
+                + num_communities * rng.integers(
+                    0, max(community_size, 1), size=len(src)))
+    noise = rng.random(len(src)) >= config.homophily
+    partners[noise] = rng.integers(0, num_users, size=int(noise.sum()))
+    partners = np.minimum(partners, num_users - 1)
+    keep = partners != src
+    low = np.minimum(src[keep], partners[keep])
+    high = np.maximum(src[keep], partners[keep])
+    social_keys = np.unique(low * np.int64(num_users) + high)
+    social_edges = np.stack([social_keys // num_users,
+                             social_keys % num_users], axis=1)
+
+    item_ids = np.arange(num_items, dtype=np.int64)
+    item_relations = np.stack([item_ids, item_ids % num_relations], axis=1)
+
+    return InteractionDataset(
+        num_users=num_users,
+        num_items=num_items,
+        num_relations=num_relations,
+        interactions=interactions,
+        social_edges=social_edges,
+        item_relations=item_relations,
+        name=config.name,
+        metadata={"config": config},
+    )
+
+
+def xlarge(seed: int = 0, **overrides) -> InteractionDataset:
+    """Memory-scale profile: 1M+ nodes for the peak-RSS benchmark.
+
+    220k users + 800k items + 32 relation nodes = 1,020,032 graph nodes.
+    Built with :func:`generate_dataset_chunked`; only used by the opt-in
+    memory sweep (sweep 7), never by the tier-1 suite.
+    """
+    config = SyntheticConfig(
+        num_users=220_000, num_items=800_000, num_relations=32,
+        num_communities=64, mean_interactions=6.0, mean_social_degree=4.0,
+        homophily=0.9, seed=seed, name="xlarge")
+    return generate_dataset_chunked(
+        replace(config, **overrides) if overrides else config)
+
+
 PRESETS = {
     "ciao-small": ciao_small,
     "epinions-small": epinions_small,
@@ -326,4 +466,5 @@ PRESETS = {
     "medium": medium,
     "large": large,
     "tiny": tiny,
+    "xlarge": xlarge,
 }

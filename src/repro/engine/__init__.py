@@ -23,7 +23,7 @@ Five layers (bottom to top):
 defined here.
 """
 
-from repro.engine import instrument
+from repro.engine import arena, instrument
 from repro.engine.adjcache import (
     AdjacencyCache,
     cached_transpose,
@@ -43,10 +43,15 @@ from repro.engine.backends import (
 )
 from repro.engine.precision import (
     Tolerances,
+    as_index_array,
     get_dtype,
+    get_index_dtype,
+    index_dtype_for,
     set_dtype,
+    set_index_dtype,
     tolerances,
     use_dtype,
+    use_index_dtype,
 )
 
 __all__ = [
@@ -57,20 +62,26 @@ __all__ = [
     "NaiveBackend",
     "ThreadedBackend",
     "Tolerances",
+    "arena",
+    "as_index_array",
     "available_backends",
     "bpr_terms",
     "cached_transpose",
     "get_backend",
     "get_cache",
     "get_dtype",
+    "get_index_dtype",
+    "index_dtype_for",
     "instrument",
     "normalized",
     "register_backend",
     "set_backend",
     "set_dtype",
+    "set_index_dtype",
     "tolerances",
     "use_backend",
     "use_dtype",
+    "use_index_dtype",
 ]
 
 

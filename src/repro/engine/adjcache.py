@@ -107,8 +107,8 @@ class AdjacencyCache:
                                f"known: {sorted(builders)} (or pass builder=)")
             builder = builders[scheme]
         counters().record_normalization()
-        result = sp.csr_matrix(builder(matrix), dtype=dtype)
-        result.sort_indices()
+        from repro.graph.adjacency import as_csr64
+        result = as_csr64(sp.csr_matrix(builder(matrix), dtype=dtype))
         self._watch(matrix)
         self._store[key] = result
         return result
@@ -127,7 +127,15 @@ class AdjacencyCache:
             return cached
         self.misses += 1
         counters().record_cache(False)
+        from repro.graph.adjacency import _canonical_index_dtype
         result = matrix.T.tocsr()
+        index_dtype = _canonical_index_dtype(result)
+        if (result.indices.dtype != index_dtype
+                or result.indptr.dtype != index_dtype):
+            result = sp.csr_matrix(
+                (result.data, result.indices.astype(index_dtype, copy=False),
+                 result.indptr.astype(index_dtype, copy=False)),
+                shape=result.shape, copy=False)
         result.sort_indices()
         self._watch(matrix)
         self._store[key] = result

@@ -41,7 +41,23 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.engine import arena
 from repro.engine.instrument import counters
+
+try:  # pragma: no cover - import guard for exotic scipy builds
+    from scipy.sparse import _sparsetools as _csr_tools
+except ImportError:  # pragma: no cover
+    _csr_tools = None
+
+
+def _out_buffer(shape, dtype, out: Optional[np.ndarray],
+                zero: bool) -> np.ndarray:
+    """Resolve an ``out=`` argument: caller buffer, arena, or fresh."""
+    if out is None:
+        return arena.zeros(shape, dtype) if zero else arena.empty(shape, dtype)
+    if zero:
+        out[...] = 0
+    return out
 
 
 class KernelBackend:
@@ -57,10 +73,16 @@ class KernelBackend:
     name = "abstract"
 
     # -- public, instrumented entry points -----------------------------
-    def spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
-        """``matrix @ dense`` for a CSR matrix and an ``(n, d)`` array."""
+    def spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``matrix @ dense`` for a CSR matrix and an ``(n, d)`` array.
+
+        ``out``, when given, receives the product in place (it is fully
+        overwritten).  When omitted and an arena step scope is active,
+        the result buffer is checked out of the pool.
+        """
         start = time.perf_counter()
-        out = self._spmm(matrix, dense)
+        out = self._spmm(matrix, dense, out=out)
         width = dense.shape[1] if dense.ndim > 1 else 1
         counters().record_kernel("spmm", time.perf_counter() - start,
                                  nnz=matrix.nnz,
@@ -82,8 +104,8 @@ class KernelBackend:
             flops=2.0 * len(a_indices) * a.shape[1])
         return out
 
-    def gather_rows(self, table: np.ndarray,
-                    indices: np.ndarray) -> np.ndarray:
+    def gather_rows(self, table: np.ndarray, indices: np.ndarray,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
         """Row gather ``table[indices]`` — the embedding-lookup kernel.
 
         The forward half of minibatch seed gathering: sampled paths pull
@@ -92,22 +114,24 @@ class KernelBackend:
         spmm traffic.
         """
         start = time.perf_counter()
-        out = self._gather_rows(table, indices)
+        out = self._gather_rows(table, indices, out=out)
         width = int(np.prod(table.shape[1:])) if table.ndim > 1 else 1
         counters().record_kernel("gather_rows", time.perf_counter() - start,
                                  flops=float(indices.size) * width)
         return out
 
     def scatter_add_rows(self, grad: np.ndarray, indices: np.ndarray,
-                         num_rows: int) -> np.ndarray:
-        """Scatter-add rows into a fresh ``(num_rows, ...)`` array.
+                         num_rows: int,
+                         out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Scatter-add rows into a zeroed ``(num_rows, ...)`` array.
 
         The backward half of :meth:`gather_rows`: duplicated indices
         accumulate, which routes subgraph gradients back to the global
-        embedding tables.
+        embedding tables.  ``out``, when given, is zeroed then
+        accumulated into.
         """
         start = time.perf_counter()
-        out = self._scatter_add_rows(grad, indices, num_rows)
+        out = self._scatter_add_rows(grad, indices, num_rows, out=out)
         width = int(np.prod(grad.shape[indices.ndim:])) if grad.ndim else 1
         counters().record_kernel(
             "scatter_add_rows", time.perf_counter() - start,
@@ -140,7 +164,8 @@ class KernelBackend:
         return out
 
     def memory_mixture(self, embeddings: np.ndarray, gates: np.ndarray,
-                       transforms: np.ndarray) -> np.ndarray:
+                       transforms: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
         """Fused gated mixture-of-transforms (DGNN Eq. 3 forward).
 
         ``embeddings`` is ``(n, d)``, ``gates`` is ``(n, M)`` and
@@ -150,7 +175,7 @@ class KernelBackend:
         temporaries.
         """
         start = time.perf_counter()
-        out = self._memory_mixture(embeddings, gates, transforms)
+        out = self._memory_mixture(embeddings, gates, transforms, out=out)
         units, dim = transforms.shape[0], transforms.shape[1]
         counters().record_kernel(
             "memory_mixture", time.perf_counter() - start,
@@ -178,22 +203,25 @@ class KernelBackend:
         return grads
 
     # -- kernels to implement ------------------------------------------
-    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
+              out=None) -> np.ndarray:
         raise NotImplementedError
 
     def _gathered_rowwise_dot(self, a, a_indices, b, b_indices) -> np.ndarray:
         raise NotImplementedError
 
-    def _gather_rows(self, table, indices) -> np.ndarray:
+    def _gather_rows(self, table, indices, out=None) -> np.ndarray:
         raise NotImplementedError
 
-    def _scatter_add_rows(self, grad, indices, num_rows) -> np.ndarray:
+    def _scatter_add_rows(self, grad, indices, num_rows,
+                          out=None) -> np.ndarray:
         raise NotImplementedError
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
         raise NotImplementedError
 
-    def _memory_mixture(self, embeddings, gates, transforms) -> np.ndarray:
+    def _memory_mixture(self, embeddings, gates, transforms,
+                        out=None) -> np.ndarray:
         raise NotImplementedError
 
     def _memory_mixture_backward(self, grad_out, embeddings, gates,
@@ -209,10 +237,12 @@ class NaiveBackend(KernelBackend):
 
     name = "naive"
 
-    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
+              out=None) -> np.ndarray:
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
-        out = np.zeros((matrix.shape[0],) + dense.shape[1:],
-                       dtype=np.result_type(matrix.dtype, dense.dtype))
+        out = _out_buffer((matrix.shape[0],) + dense.shape[1:],
+                          np.result_type(matrix.dtype, dense.dtype),
+                          out, zero=True)
         for row in range(matrix.shape[0]):
             start, stop = indptr[row], indptr[row + 1]
             for position in range(start, stop):
@@ -226,17 +256,21 @@ class NaiveBackend(KernelBackend):
                                    b[b_indices[position]])
         return out
 
-    def _gather_rows(self, table, indices) -> np.ndarray:
+    def _gather_rows(self, table, indices, out=None) -> np.ndarray:
         flat = indices.reshape(-1)
-        out = np.zeros((len(flat),) + table.shape[1:], dtype=table.dtype)
+        out = _out_buffer(indices.shape + table.shape[1:], table.dtype,
+                          out, zero=False)
+        flat_out = out.reshape((len(flat),) + table.shape[1:])
         for position in range(len(flat)):
-            out[position] = table[flat[position]]
-        return out.reshape(indices.shape + table.shape[1:])
+            flat_out[position] = table[flat[position]]
+        return out
 
-    def _scatter_add_rows(self, grad, indices, num_rows) -> np.ndarray:
+    def _scatter_add_rows(self, grad, indices, num_rows,
+                          out=None) -> np.ndarray:
         flat = indices.reshape(-1)
         rows = grad.reshape((len(flat),) + grad.shape[indices.ndim:])
-        out = np.zeros((num_rows,) + rows.shape[1:], dtype=grad.dtype)
+        out = _out_buffer((num_rows,) + rows.shape[1:], grad.dtype,
+                          out, zero=True)
         for position in range(len(flat)):
             out[flat[position]] += rows[position]
         return out
@@ -247,10 +281,11 @@ class NaiveBackend(KernelBackend):
             out[segment_ids[position]] += values[position]
         return out
 
-    def _memory_mixture(self, embeddings, gates, transforms) -> np.ndarray:
+    def _memory_mixture(self, embeddings, gates, transforms,
+                        out=None) -> np.ndarray:
         num_nodes = embeddings.shape[0]
         num_units = transforms.shape[0]
-        out = np.zeros_like(embeddings)
+        out = _out_buffer(embeddings.shape, embeddings.dtype, out, zero=True)
         for node in range(num_nodes):
             mixed = np.zeros_like(transforms[0])
             for unit in range(num_units):
@@ -286,50 +321,98 @@ class FastBackend(KernelBackend):
 
     name = "fast"
 
-    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
-        return matrix @ dense
+    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
+              out=None) -> np.ndarray:
+        dtype = np.result_type(matrix.dtype, dense.dtype)
+        out_shape = (matrix.shape[0],) + dense.shape[1:]
+        if out is None and not arena.get_arena().pools(out_shape, dtype):
+            return matrix @ dense
+        out = _out_buffer(out_shape, dtype, out, zero=False)
+        if (_csr_tools is not None and dense.ndim == 2
+                and matrix.dtype == dense.dtype == out.dtype
+                and matrix.indices.dtype == matrix.indptr.dtype
+                and dense.flags.c_contiguous and out.flags.c_contiguous):
+            # scipy's own __matmul__ bottoms out in csr_matvecs on a
+            # zeroed result, so writing through it is bitwise identical
+            # to `matrix @ dense` — minus the fresh allocation.
+            out[...] = 0
+            _csr_tools.csr_matvecs(
+                matrix.shape[0], matrix.shape[1], dense.shape[1],
+                matrix.indptr, matrix.indices, matrix.data,
+                dense.ravel(), out.ravel())
+        else:
+            out[...] = matrix @ dense
+        return out
 
     def _gathered_rowwise_dot(self, a, a_indices, b, b_indices) -> np.ndarray:
         return np.einsum("nd,nd->n", a[a_indices], b[b_indices])
 
-    def _gather_rows(self, table, indices) -> np.ndarray:
-        return table[indices]
+    def _gather_rows(self, table, indices, out=None) -> np.ndarray:
+        out_shape = indices.shape + table.shape[1:]
+        if out is None and not arena.get_arena().pools(out_shape, table.dtype):
+            return table[indices]
+        out = _out_buffer(out_shape, table.dtype, out, zero=False)
+        np.take(table, indices, axis=0, out=out)
+        return out
 
-    def _scatter_add_rows(self, grad, indices, num_rows) -> np.ndarray:
-        out = np.zeros((num_rows,) + grad.shape[indices.ndim:],
-                       dtype=grad.dtype)
+    def _scatter_add_rows(self, grad, indices, num_rows,
+                          out=None) -> np.ndarray:
+        out = _out_buffer((num_rows,) + grad.shape[indices.ndim:],
+                          grad.dtype, out, zero=True)
         np.add.at(out, indices, grad)
         return out
 
     def _segment_sum(self, values, segment_ids, num_segments) -> np.ndarray:
-        out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+        out = arena.zeros((num_segments,) + values.shape[1:], values.dtype)
         np.add.at(out, segment_ids, values)
         return out
 
-    def _memory_mixture(self, embeddings, gates, transforms) -> np.ndarray:
+    def _memory_mixture(self, embeddings, gates, transforms,
+                        out=None) -> np.ndarray:
         # |M| BLAS GEMMs with (n, d) temporaries only.  On this op shape
         # (small d, M ~ 8) the loop-of-GEMMs beats a single einsum by an
         # order of magnitude because einsum cannot route it through BLAS.
-        out = gates[:, 0:1] * (embeddings @ transforms[0])
+        dtype = np.result_type(embeddings.dtype, gates.dtype,
+                               transforms.dtype)
+        out = _out_buffer(embeddings.shape, dtype, out, zero=False)
+        tmp = arena.empty(embeddings.shape, dtype)
+        np.matmul(embeddings, transforms[0], out=tmp)
+        np.multiply(tmp, gates[:, 0:1], out=out)
         for unit in range(1, transforms.shape[0]):
-            out += gates[:, unit:unit + 1] * (embeddings @ transforms[unit])
+            np.matmul(embeddings, transforms[unit], out=tmp)
+            tmp *= gates[:, unit:unit + 1]
+            out += tmp
+        arena.release(tmp)
         return out
 
     def _memory_mixture_backward(self, grad_out, embeddings, gates,
                                  transforms, needs):
-        grad_emb = np.zeros_like(embeddings) if needs[0] else None
-        grad_gates = np.zeros_like(gates) if needs[1] else None
-        grad_transforms = np.zeros_like(transforms) if needs[2] else None
+        dtype = np.result_type(grad_out.dtype, embeddings.dtype,
+                               gates.dtype, transforms.dtype)
+        grad_emb = (arena.zeros(embeddings.shape, dtype)
+                    if needs[0] else None)
+        grad_gates = arena.zeros(gates.shape, dtype) if needs[1] else None
+        grad_transforms = (arena.zeros(transforms.shape, dtype)
+                           if needs[2] else None)
+        g_wt = (arena.empty(grad_out.shape, dtype)
+                if needs[0] or needs[1] else None)
+        tmp = arena.empty(grad_out.shape, dtype) if needs[0] else None
+        scaled = arena.empty(embeddings.shape, dtype) if needs[2] else None
         for unit in range(transforms.shape[0]):
             if needs[0] or needs[1]:
-                g_wt = grad_out @ transforms[unit].T
+                np.matmul(grad_out, transforms[unit].T, out=g_wt)
             if needs[0]:
-                grad_emb += gates[:, unit:unit + 1] * g_wt
+                np.multiply(g_wt, gates[:, unit:unit + 1], out=tmp)
+                grad_emb += tmp
             if needs[1]:
-                grad_gates[:, unit] = np.einsum("ni,ni->n", embeddings, g_wt)
+                np.einsum("ni,ni->n", embeddings, g_wt,
+                          out=grad_gates[:, unit])
             if needs[2]:
-                grad_transforms[unit] = (
-                    embeddings * gates[:, unit:unit + 1]).T @ grad_out
+                np.multiply(embeddings, gates[:, unit:unit + 1], out=scaled)
+                np.matmul(scaled.T, grad_out, out=grad_transforms[unit])
+        for buf in (g_wt, tmp, scaled):
+            if buf is not None:
+                arena.release(buf)
         return grad_emb, grad_gates, grad_transforms
 
 
@@ -373,14 +456,16 @@ class ThreadedBackend(FastBackend):
         bounds[0], bounds[-1] = 0, len(indptr) - 1
         return np.unique(bounds)
 
-    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
+              out=None) -> np.ndarray:
         if self.workers == 1 or matrix.nnz < self.min_parallel_nnz:
-            return matrix @ dense
+            return super()._spmm(matrix, dense, out=out)
         bounds = self._row_blocks(matrix.indptr, self.workers)
         if len(bounds) < 3:  # degenerate split — single block
-            return matrix @ dense
-        out = np.empty((matrix.shape[0],) + dense.shape[1:],
-                       dtype=np.result_type(matrix.dtype, dense.dtype))
+            return super()._spmm(matrix, dense, out=out)
+        out = _out_buffer((matrix.shape[0],) + dense.shape[1:],
+                          np.result_type(matrix.dtype, dense.dtype),
+                          out, zero=False)
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
 
         def run_block(lo: int, hi: int) -> None:

@@ -20,6 +20,17 @@ cached adjacencies built while a dtype is active carry that dtype.
 Switching mid-run does not retroactively convert live arrays — build
 models and graphs inside :func:`use_dtype` (the adjacency cache keys on
 dtype, so cached views of the two precisions never collide).
+
+Alongside the floating policy lives the *index* policy: the integer
+dtype used for CSR ``indices``/``indptr`` arrays, subgraph local-id
+maps, row-sparse gradient row lists and optimizer row counters.
+``int32`` is the default — it halves index memory on every cached
+adjacency and sampled subgraph, and no supported preset comes close to
+``2**31`` nodes — with ``int64`` available via :func:`set_index_dtype`
+or ``REPRO_ENGINE_INDEX_DTYPE`` as the conservative oracle.  Use
+:func:`index_dtype_for` rather than :func:`get_index_dtype` when a
+domain size is known: it transparently falls back to ``int64`` for
+domains too large for ``int32``, so the policy can never overflow.
 """
 
 from __future__ import annotations
@@ -70,6 +81,70 @@ def use_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
         yield active
     finally:
         set_dtype(previous)
+
+
+_INDEX_DTYPES: Dict[str, np.dtype] = {
+    "int32": np.dtype(np.int32),
+    "int64": np.dtype(np.int64),
+}
+
+#: Smallest domain size that no longer fits int32 indices.
+INT32_LIMIT: int = 2 ** 31
+
+
+def _resolve_index(dtype: DTypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved.name not in _INDEX_DTYPES:
+        raise ValueError(f"unsupported engine index dtype {dtype!r}; "
+                         f"known: {sorted(_INDEX_DTYPES)}")
+    return resolved
+
+
+_ACTIVE_INDEX: np.dtype = _resolve_index(
+    os.environ.get("REPRO_ENGINE_INDEX_DTYPE", "int32"))
+
+
+def get_index_dtype() -> np.dtype:
+    """The active index dtype (``int32`` unless opted up to ``int64``)."""
+    return _ACTIVE_INDEX
+
+
+def set_index_dtype(dtype: DTypeLike) -> np.dtype:
+    """Select the active index dtype by name or numpy dtype; returns it."""
+    global _ACTIVE_INDEX
+    _ACTIVE_INDEX = _resolve_index(dtype)
+    return _ACTIVE_INDEX
+
+
+@contextlib.contextmanager
+def use_index_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the index dtype inside a ``with`` block."""
+    previous = get_index_dtype()
+    active = set_index_dtype(dtype)
+    try:
+        yield active
+    finally:
+        set_index_dtype(previous)
+
+
+def index_dtype_for(domain: int) -> np.dtype:
+    """Index dtype for a domain of ``domain`` addressable values.
+
+    Returns the active index dtype unless ``domain`` does not fit in
+    ``int32``, in which case ``int64`` is forced regardless of policy —
+    the overflow guard that makes ``int32`` a safe default.
+    """
+    if int(domain) >= INT32_LIMIT:
+        return _INDEX_DTYPES["int64"]
+    return _ACTIVE_INDEX
+
+
+def as_index_array(values, domain: int) -> np.ndarray:
+    """``np.asarray`` under the index policy for a known domain size.
+
+    No copy is made when ``values`` already carries the policy dtype.
+    """
+    return np.asarray(values, dtype=index_dtype_for(domain))
 
 
 class Tolerances(NamedTuple):

@@ -1,6 +1,6 @@
 """Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Six sweeps, each answering one question about the engine's hot path:
+Seven sweeps, each answering one question about the engine's hot path:
 
 * :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
   (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
@@ -20,8 +20,21 @@ Six sweeps, each answering one question about the engine's hot path:
   updates: an end-to-end minibatch training A/B in the optimizer-bound
   regime (small batch closure against the full embedding tables), plus
   an Adam step-rate micro-benchmark across touched-row fractions.
+* :func:`run_memory_bench` — sweep 7, the memory-scale A/B: peak RSS of
+  the production configuration (``float32`` + ``int32`` indices +
+  buffer arena) against the allocate-fresh ``float64``/``int64`` parity
+  oracle, each measured in its own subprocess so ``ru_maxrss`` isolates
+  one arm; at the ``xlarge`` preset it instead runs the 1M+ node
+  end-to-end training leg and records epoch time and peak RSS.
 
-:func:`run_engine_suite` runs all six and persists them under one
+The *recorded production configuration* is ``float32``: every sweep
+except the explicit dtype A/B runs under ``use_dtype("float32")``, and
+``float64`` survives as the parity arm inside ``dtype_sweep`` and the
+memory oracle.  Every sweep section also records ``peak_rss_mb``, the
+process high-water mark when the sweep finished (monotonic within one
+process — per-arm isolation is exactly why sweep 7 forks).
+
+:func:`run_engine_suite` runs the sweeps and persists them under one
 preset key in ``BENCH_engine.json``.  The artifact groups results by
 preset — ``{"presets": {"tiny": {...}, "medium": {...}}}`` — and writes
 merge on top of the existing file, so a tiny-scale smoke refresh never
@@ -31,6 +44,10 @@ clobbers the committed medium-scale numbers.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,12 +57,38 @@ import numpy as np
 
 from repro.engine import get_cache, instrument, use_backend, use_dtype
 from repro.engine.backends import ThreadedBackend
+from repro.engine.precision import tolerances
 from repro.experiments.common import ExperimentContext, default_train_config
 from repro.models import create_model
 from repro.models.memory import use_fused_memory
 from repro.train import Trainer
 
 BACKENDS = ("naive", "fast", "threaded")
+
+PRODUCTION_DTYPE = "float32"
+
+# Environment contracts of the two sweep-7 arms: the benchmarked
+# production path and the allocate-fresh double-precision parity oracle.
+_MEMORY_ARMS = {
+    "production": {"REPRO_ENGINE_DTYPE": "float32",
+                   "REPRO_ENGINE_INDEX_DTYPE": "int32",
+                   "REPRO_ENGINE_ARENA": "1"},
+    "oracle": {"REPRO_ENGINE_DTYPE": "float64",
+               "REPRO_ENGINE_INDEX_DTYPE": "int64",
+               "REPRO_ENGINE_ARENA": "0"},
+}
+
+
+def _peak_rss_mb() -> float:
+    """Process peak resident set size in MiB (0.0 if unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0  # kilobytes on Linux
 
 
 @dataclass
@@ -60,6 +103,8 @@ class EngineBenchResults:
     thread_sweep: Dict[str, float] = field(default_factory=dict)
     minibatch: Dict[str, Dict[str, float]] = field(default_factory=dict)
     optimizer: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    memory: Dict[str, object] = field(default_factory=dict)
+    production_dtype: str = PRODUCTION_DTYPE
 
     @property
     def speedup(self) -> float:
@@ -137,12 +182,25 @@ class EngineBenchResults:
                     f"  {name}: dense {stats['dense_steps_per_sec']:.0f} "
                     f"steps/s, lazy {stats['lazy_steps_per_sec']:.0f} steps/s "
                     f"({stats['speedup']:.2f}x)")
+        if self.memory:
+            production = self.memory.get("production", {})
+            oracle = self.memory.get("oracle", {})
+            if isinstance(production, dict) and production:
+                lines.append(
+                    f"memory: production {production.get('peak_rss_mb', 0.0):.0f} MB peak RSS")
+            if isinstance(oracle, dict) and oracle:
+                reduction = self.memory.get("rss_reduction_vs_oracle", 0.0)
+                lines.append(
+                    f"  oracle {oracle.get('peak_rss_mb', 0.0):.0f} MB "
+                    f"({100.0 * float(reduction):.1f}% reduction, loss parity "
+                    f"{'ok' if self.memory.get('loss_parity_ok') else 'FAILED'})")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "dataset": self.dataset_name,
             "epochs": self.epochs,
+            "production_dtype": self.production_dtype,
             "backends": self.backends,
             "speedup_fast_over_naive": self.speedup,
             "memory_kernel": self.memory_kernel,
@@ -150,6 +208,7 @@ class EngineBenchResults:
             "thread_sweep": self.thread_sweep,
             "minibatch": self.minibatch,
             "optimizer": self.optimizer,
+            "memory": self.memory,
         }
 
     def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
@@ -231,6 +290,7 @@ def run_engine_throughput(
             "epochs_per_sec": (1.0 / seconds_per_epoch
                                if seconds_per_epoch > 0 else 0.0),
             "total_seconds": total,
+            "peak_rss_mb": _peak_rss_mb(),
         }
         stats.update(history.total_kernel_counters())
         results.backends[backend] = stats
@@ -283,6 +343,7 @@ def run_memory_kernel_bench(
         "fused_seconds": fused,
         "unfused_seconds": unfused,
         "fused_speedup": unfused / fused if fused > 0 else float("inf"),
+        "peak_rss_mb": _peak_rss_mb(),
     }
 
 
@@ -325,6 +386,7 @@ def run_dtype_sweep(
                                if seconds_per_epoch > 0 else 0.0),
             "best_hr": max((m.get("hr@10", 0.0) for m in history.metrics),
                            default=0.0),
+            "peak_rss_mb": _peak_rss_mb(),
         }
     return sweep
 
@@ -356,6 +418,7 @@ def run_thread_sweep(
             backend._spmm(matrix, dense)
             best = min(best, time.perf_counter() - start)
         sweep[str(count)] = best
+    sweep["peak_rss_mb"] = _peak_rss_mb()
     return sweep
 
 
@@ -444,6 +507,7 @@ def run_minibatch_bench(
         "speedup": (timings["loop"] / timings["fast"]
                     if timings["fast"] > 0 else float("inf")),
     }
+    section["peak_rss_mb"] = {"value": _peak_rss_mb()}
     return section
 
 
@@ -563,6 +627,153 @@ def run_optimizer_bench(
             "speedup": (lazy_rate / dense_rate if dense_rate > 0
                         else float("inf")),
         }
+    section["peak_rss_mb"] = {"value": _peak_rss_mb()}
+    return section
+
+
+def _memory_workload(cfg: Dict) -> Dict[str, object]:
+    """The sweep-7 training workload, run inside one arm's subprocess.
+
+    At the standard presets: a big-embedding LightGCN full-propagation
+    training run — dense gradients against the whole table put the
+    array footprint (parameters, Adam moments, activations, gradient
+    buffers) well above the interpreter baseline, which is what makes
+    the peak-RSS A/B meaningful.  At ``xlarge``: the 1M+ node end-to-end
+    leg — chunked generation, vectorized last-item holdout, sampled
+    minibatch propagation with row-sparse gradients.
+    """
+    from repro.data.sampling import build_eval_candidates
+    from repro.data.split import leave_last_out, leave_one_out
+    from repro.data.synthetic import PRESETS
+    from repro.graph.hetero import CollaborativeHeteroGraph
+    from repro.train.config import TrainConfig
+
+    preset = cfg["preset"]
+    seed = int(cfg.get("seed", 0))
+    epochs = int(cfg.get("epochs", 2))
+    dataset = PRESETS[preset](seed)
+    if preset == "xlarge":
+        split = leave_last_out(dataset, max_test_users=2000, seed=seed)
+        config = TrainConfig(
+            epochs=epochs, batch_size=int(cfg.get("batch_size", 1024)),
+            batches_per_epoch=int(cfg.get("batches_per_epoch", 8)),
+            propagation="minibatch", fanout=10, prefetch=False,
+            eval_every=max(epochs, 1), patience=None, seed=seed)
+    else:
+        split = leave_one_out(dataset, seed=seed)
+        config = TrainConfig(
+            epochs=epochs, batch_size=int(cfg.get("batch_size", 2048)),
+            batches_per_epoch=int(cfg.get("batches_per_epoch", 6)),
+            propagation="full", eval_every=max(epochs, 1), patience=None,
+            seed=seed)
+    graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+    candidates = build_eval_candidates(split, num_negatives=50, seed=seed)
+    with use_backend("fast"):
+        model = create_model("lightgcn", graph,
+                             embed_dim=int(cfg.get("embed_dim", 256)),
+                             seed=seed,
+                             num_layers=int(cfg.get("num_layers", 2)))
+        trainer = Trainer(model, split, config, candidates)
+        history = trainer.fit()
+    seconds_per_epoch = history.mean_train_seconds()
+    return {
+        "losses": [float(l) for l in history.losses],
+        "seconds_per_epoch": seconds_per_epoch,
+        "epochs_per_sec": (1.0 / seconds_per_epoch
+                           if seconds_per_epoch > 0 else 0.0),
+        "num_nodes": int(dataset.num_users + dataset.num_items
+                         + dataset.num_relations),
+        "num_interactions": int(len(dataset.interactions)),
+        "dtype": os.environ.get("REPRO_ENGINE_DTYPE", "float64"),
+        "index_dtype": os.environ.get("REPRO_ENGINE_INDEX_DTYPE", "int32"),
+        "arena": os.environ.get("REPRO_ENGINE_ARENA", "1"),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+def _memory_child() -> None:  # pragma: no cover - exercised via subprocess
+    """Subprocess entry point: read config from env, write result JSON."""
+    cfg = json.loads(os.environ["REPRO_MEMBENCH_CONFIG"])
+    result = _memory_workload(cfg)
+    Path(cfg["output"]).write_text(json.dumps(result))
+
+
+def _run_memory_arm(cfg: Dict, arm_env: Dict[str, str],
+                    timeout: float) -> Dict[str, object]:
+    """Run one sweep-7 arm in a fresh subprocess and return its report.
+
+    A child process per arm is what makes ``ru_maxrss`` usable: the
+    counter is a monotonic per-process high-water mark, so arms sharing
+    a process would all report the largest one's footprint.
+    """
+    import repro
+
+    with tempfile.TemporaryDirectory(prefix="repro-membench-") as tmpdir:
+        output = Path(tmpdir) / "result.json"
+        env = dict(os.environ)
+        env.update(arm_env)
+        env["REPRO_MEMBENCH_CONFIG"] = json.dumps({**cfg, "output": str(output)})
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        previous = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not previous
+                             else os.pathsep.join([package_root, previous]))
+        subprocess.run(
+            [sys.executable, "-c",
+             "from repro.experiments.engine_bench import _memory_child; "
+             "_memory_child()"],
+            env=env, check=True, timeout=timeout)
+        return json.loads(output.read_text())
+
+
+def run_memory_bench(
+        preset: str = "large",
+        epochs: int = 2,
+        batches_per_epoch: int = 6,
+        batch_size: int = 2048,
+        embed_dim: int = 256,
+        num_layers: int = 2,
+        seed: int = 0,
+        timeout: float = 3600.0) -> Dict[str, object]:
+    """Sweep 7 — peak RSS of the production path vs the parity oracle.
+
+    At the standard presets both arms run the identical workload in
+    separate subprocesses — ``production`` (``float32`` values,
+    ``int32`` indices, buffer arena on) and ``oracle`` (``float64``,
+    ``int64``, allocate-fresh) — and the section records the fractional
+    peak-RSS reduction plus training-loss-trajectory parity under the
+    float32 tolerances of :mod:`repro.engine.precision`.  At ``xlarge``
+    only the production arm runs (the end-to-end 1M+ node leg).
+    """
+    cfg = {"preset": preset, "epochs": epochs,
+           "batches_per_epoch": batches_per_epoch, "batch_size": batch_size,
+           "embed_dim": embed_dim, "num_layers": num_layers, "seed": seed}
+    if preset == "xlarge":
+        cfg.update(embed_dim=32, num_layers=2, batch_size=1024,
+                   batches_per_epoch=8)
+        arms = {"production": _MEMORY_ARMS["production"]}
+    else:
+        arms = _MEMORY_ARMS
+    section: Dict[str, object] = {}
+    for name, arm_env in arms.items():
+        section[name] = _run_memory_arm(cfg, arm_env, timeout)
+    production = section.get("production")
+    oracle = section.get("oracle")
+    if isinstance(production, dict) and isinstance(oracle, dict):
+        oracle_rss = float(oracle.get("peak_rss_mb", 0.0))
+        production_rss = float(production.get("peak_rss_mb", 0.0))
+        section["rss_reduction_vs_oracle"] = (
+            1.0 - production_rss / oracle_rss if oracle_rss > 0 else 0.0)
+        prod_losses = np.asarray(production.get("losses", []), dtype=np.float64)
+        oracle_losses = np.asarray(oracle.get("losses", []), dtype=np.float64)
+        tol = tolerances(np.float32)
+        if len(prod_losses) == len(oracle_losses) and len(prod_losses):
+            rel = np.abs(prod_losses - oracle_losses) / np.maximum(
+                np.abs(oracle_losses), 1.0)
+            max_rel = float(rel.max())
+        else:
+            max_rel = float("inf")
+        section["max_rel_loss_diff"] = max_rel
+        section["loss_parity_ok"] = bool(max_rel <= tol.grad_rtol)
     return section
 
 
@@ -576,28 +787,53 @@ def run_engine_suite(
         seed: int = 0,
         backends: Sequence[str] = BACKENDS,
         minibatch_fanouts: Sequence[int] = (5, 10, 20),
+        dtype: str = PRODUCTION_DTYPE,
+        memory: Optional[bool] = None,
         output_path: Optional[Path] = None) -> EngineBenchResults:
-    """All six engine sweeps on one shared context; optionally persisted."""
-    context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
-    results = run_engine_throughput(
-        preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
-        batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
-        seed=seed, backends=backends, context=context)
-    results.memory_kernel = run_memory_kernel_bench(
-        preset=preset, batch_size=batch_size, embed_dim=embed_dim,
-        num_layers=num_layers, seed=seed, context=context)
-    results.dtype_sweep = run_dtype_sweep(
-        preset=preset, epochs=1, batches_per_epoch=batches_per_epoch,
-        batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
-        seed=seed, context=context)
-    results.thread_sweep = run_thread_sweep(
-        preset=preset, embed_dim=embed_dim, seed=seed, context=context)
-    results.minibatch = run_minibatch_bench(
-        preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
-        batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
-        fanouts=minibatch_fanouts, seed=seed, context=context)
-    results.optimizer = run_optimizer_bench(
-        preset=preset, epochs=epochs, seed=seed, context=context)
+    """All engine sweeps on one shared context; optionally persisted.
+
+    Every sweep except the dtype A/B runs under ``dtype`` — float32 by
+    default, the recorded production configuration.  ``memory`` controls
+    sweep 7 (subprocess peak-RSS arms); default: on for the ``large``
+    and ``xlarge`` presets only, since the A/B needs an array footprint
+    that dwarfs the interpreter baseline to be meaningful.
+    """
+    if memory is None:
+        memory = preset in ("large", "xlarge")
+    if preset == "xlarge":
+        # The 1M+ node preset exists for the memory leg alone; the
+        # in-process sweeps would take hours at that scale.
+        results = EngineBenchResults(dataset_name="xlarge", epochs=epochs,
+                                     production_dtype=dtype)
+        results.memory = run_memory_bench(preset=preset, epochs=epochs,
+                                          seed=seed)
+        if output_path is not None:
+            results.write_json(Path(output_path), preset=preset)
+        return results
+    with use_dtype(dtype):
+        context = ExperimentContext.build(preset, seed=seed, num_negatives=50)
+        results = run_engine_throughput(
+            preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
+            batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
+            seed=seed, backends=backends, context=context)
+        results.production_dtype = dtype
+        results.memory_kernel = run_memory_kernel_bench(
+            preset=preset, batch_size=batch_size, embed_dim=embed_dim,
+            num_layers=num_layers, seed=seed, context=context)
+        results.dtype_sweep = run_dtype_sweep(
+            preset=preset, epochs=1, batches_per_epoch=batches_per_epoch,
+            batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
+            seed=seed, context=context)
+        results.thread_sweep = run_thread_sweep(
+            preset=preset, embed_dim=embed_dim, seed=seed, context=context)
+        results.minibatch = run_minibatch_bench(
+            preset=preset, epochs=epochs, batches_per_epoch=batches_per_epoch,
+            batch_size=batch_size, embed_dim=embed_dim, num_layers=num_layers,
+            fanouts=minibatch_fanouts, seed=seed, context=context)
+        results.optimizer = run_optimizer_bench(
+            preset=preset, epochs=epochs, seed=seed, context=context)
+    if memory:
+        results.memory = run_memory_bench(preset=preset, seed=seed)
     if output_path is not None:
         results.write_json(Path(output_path), preset=preset)
     return results

@@ -10,6 +10,12 @@ indices in the *active* engine dtype — float64 unless the run opted down
 to float32.  ``as_csr64`` / ``assert_csr64`` keep their historical names
 (the canonical dtype was hard-coded float64 before the policy existed)
 but now mean "canonical CSR in the engine dtype".
+
+Index arrays are canonicalized too: ``indices`` and ``indptr`` are
+coerced to the engine *index* dtype for the matrix's column count
+(:func:`repro.engine.precision.index_dtype_for` — ``int32`` unless the
+graph is too large), so a scipy matrix assembled with mixed int32/int64
+index arrays can never reach the kernels inconsistently.
 """
 
 from __future__ import annotations
@@ -17,23 +23,47 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.engine.precision import get_dtype
+from repro.engine.precision import get_dtype, index_dtype_for
+
+
+def _canonical_index_dtype(matrix: sp.spmatrix) -> np.dtype:
+    # Indices address columns; indptr addresses positions in data (nnz).
+    # One shared dtype keeps scipy's compiled kernels on a single
+    # signature, so size the policy for the larger of the two domains.
+    return index_dtype_for(max(matrix.shape[1], matrix.nnz))
 
 
 def as_csr64(matrix: sp.spmatrix) -> sp.csr_matrix:
-    """Coerce to canonical format: CSR, engine dtype, sorted indices."""
+    """Coerce to canonical format: CSR, engine dtypes, sorted indices."""
     matrix = sp.csr_matrix(matrix, dtype=get_dtype())
+    index_dtype = _canonical_index_dtype(matrix)
+    if matrix.indices.dtype != index_dtype or matrix.indptr.dtype != index_dtype:
+        # Assign the arrays directly: scipy's (data, indices, indptr)
+        # constructor re-runs its own index-dtype selection and downcasts
+        # int64 arrays back to int32 whenever the values fit, silently
+        # undoing an int64 policy.  Rewrap first so the upcast never
+        # mutates a caller-owned matrix object.
+        matrix = sp.csr_matrix(
+            (matrix.data, matrix.indices, matrix.indptr),
+            shape=matrix.shape, copy=False)
+        matrix.indices = matrix.indices.astype(index_dtype, copy=False)
+        matrix.indptr = matrix.indptr.astype(index_dtype, copy=False)
     matrix.sort_indices()
     return matrix
 
 
 def assert_csr64(matrix: sp.spmatrix, name: str = "matrix") -> sp.csr_matrix:
-    """Raise unless ``matrix`` already is canonical CSR in the engine dtype."""
+    """Raise unless ``matrix`` already is canonical CSR in the engine dtypes."""
     if not sp.issparse(matrix) or matrix.format != "csr":
         raise TypeError(f"{name} must be a CSR matrix, got "
                         f"{getattr(matrix, 'format', type(matrix).__name__)!r}")
     if matrix.dtype != get_dtype():
         raise TypeError(f"{name} must be {get_dtype().name}, got {matrix.dtype}")
+    index_dtype = _canonical_index_dtype(matrix)
+    if matrix.indices.dtype != index_dtype or matrix.indptr.dtype != index_dtype:
+        raise TypeError(
+            f"{name} must carry {index_dtype.name} indices/indptr, got "
+            f"{matrix.indices.dtype.name}/{matrix.indptr.dtype.name}")
     return matrix
 
 

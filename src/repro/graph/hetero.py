@@ -29,6 +29,7 @@ import scipy.sparse as sp
 
 from repro.data.dataset import InteractionDataset
 from repro.engine.adjcache import get_cache
+from repro.engine.precision import index_dtype_for
 from repro.graph.adjacency import (
     as_csr64,
     assert_csr64,
@@ -273,19 +274,20 @@ class CollaborativeHeteroGraph:
         """
         if kind == "social":
             coo = self.social.tocoo()
-            return EdgeSet(src=coo.col.astype(np.int64),
-                           dst=coo.row.astype(np.int64), name=kind)
+            dtype = index_dtype_for(self.num_users)
+            return EdgeSet(src=coo.col.astype(dtype),
+                           dst=coo.row.astype(dtype), name=kind)
         if kind in ("ui", "iu"):
             coo = self.interaction.tocoo()
-            users = coo.row.astype(np.int64)
-            items = coo.col.astype(np.int64)
+            users = coo.row.astype(index_dtype_for(self.num_users))
+            items = coo.col.astype(index_dtype_for(self.num_items))
             if kind == "ui":
                 return EdgeSet(src=items, dst=users, name=kind)
             return EdgeSet(src=users, dst=items, name=kind)
         if kind in ("ir", "ri"):
             coo = self.item_relation.tocoo()
-            items = coo.row.astype(np.int64)
-            relations = coo.col.astype(np.int64)
+            items = coo.row.astype(index_dtype_for(self.num_items))
+            relations = coo.col.astype(index_dtype_for(self.num_relations))
             if kind == "ir":
                 return EdgeSet(src=relations, dst=items, name=kind)
             return EdgeSet(src=items, dst=relations, name=kind)
@@ -303,7 +305,8 @@ class CollaborativeHeteroGraph:
     def social_neighbors(self) -> Tuple[np.ndarray, np.ndarray]:
         """CSR-style ``(indptr, indices)`` arrays of each user's friends."""
         csr = self.social.tocsr()
-        return csr.indptr.copy(), csr.indices.astype(np.int64)
+        return (csr.indptr.copy(),
+                csr.indices.astype(index_dtype_for(self.num_users)))
 
     def __repr__(self) -> str:
         return (f"CollaborativeHeteroGraph(users={self.num_users}, items={self.num_items}, "

@@ -43,6 +43,7 @@ import scipy.sparse as sp
 
 from repro.data.dataset import InteractionDataset
 from repro.engine.adjcache import cached_transpose
+from repro.engine.precision import as_index_array, index_dtype_for
 from repro.graph.hetero import CollaborativeHeteroGraph
 
 _EMPTY = np.zeros(0, dtype=np.int64)
@@ -68,7 +69,8 @@ def _neighbors_loop(matrix: sp.csr_matrix, nodes: np.ndarray,
         collected.append(row)
     if not collected:
         return _EMPTY
-    return np.unique(np.concatenate(collected)).astype(np.int64)
+    return np.unique(np.concatenate(collected)).astype(
+        index_dtype_for(matrix.shape[1]))
 
 
 def _ragged_gather(indptr: np.ndarray, nodes: np.ndarray
@@ -96,7 +98,7 @@ def _sorted_unique(values: np.ndarray, domain: int) -> np.ndarray:
     """
     mask = np.zeros(domain, dtype=bool)
     mask[values] = True
-    return np.flatnonzero(mask).astype(np.int64)
+    return np.flatnonzero(mask).astype(index_dtype_for(domain))
 
 
 def _neighbors_fast(matrix: sp.csr_matrix, nodes: np.ndarray,
@@ -138,8 +140,8 @@ def _expand(graph: CollaborativeHeteroGraph, seed_users: np.ndarray,
             ) -> Tuple[np.ndarray, np.ndarray]:
     """The shared hop rule, parameterized by the neighbour gatherer."""
     rng = np.random.default_rng(seed)
-    users = np.unique(np.asarray(seed_users, dtype=np.int64))
-    items = np.unique(np.asarray(seed_items, dtype=np.int64))
+    users = np.unique(as_index_array(seed_users, graph.num_users))
+    items = np.unique(as_index_array(seed_items, graph.num_items))
     # Matrices are canonically CSR already; transposes are memoized so
     # repeated batch sampling does not rebuild them.
     interaction = graph.interaction
@@ -162,8 +164,10 @@ def _expand(graph: CollaborativeHeteroGraph, seed_users: np.ndarray,
         item_mask[items] = True
         item_mask[user_items] = True
         item_mask[relation_items] = True
-        users = np.flatnonzero(user_mask).astype(np.int64)
-        items = np.flatnonzero(item_mask).astype(np.int64)
+        users = np.flatnonzero(user_mask).astype(
+            index_dtype_for(graph.num_users))
+        items = np.flatnonzero(item_mask).astype(
+            index_dtype_for(graph.num_items))
     return users, items
 
 
@@ -221,9 +225,14 @@ def _validated_local(sorted_ids: np.ndarray, queries: np.ndarray,
 
 
 def _local_lookup(ids: np.ndarray, size: int) -> np.ndarray:
-    """Dense global→local id table (``-1`` marks absent globals)."""
-    lut = np.full(size, -1, dtype=np.int64)
-    lut[ids] = np.arange(len(ids), dtype=np.int64)
+    """Dense global→local id table (``-1`` marks absent globals).
+
+    The table is O(global domain) per view, so it follows the engine
+    index policy — int32 halves the per-batch lookup footprint.
+    """
+    dtype = index_dtype_for(size)
+    lut = np.full(size, -1, dtype=dtype)
+    lut[ids] = np.arange(len(ids), dtype=dtype)
     return lut
 
 
@@ -257,9 +266,13 @@ def _induced_csr(matrix: sp.csr_matrix, rows: Optional[np.ndarray],
     keep = local_cols >= 0
     owners = np.repeat(np.arange(num_rows), counts)
     kept_counts = np.bincount(owners[keep], minlength=num_rows)
-    new_indptr = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
+    kept_cols = local_cols[keep]
+    index_dtype = index_dtype_for(max(num_cols, int(kept_cols.size)))
+    new_indptr = np.concatenate(([0], np.cumsum(kept_counts))).astype(
+        index_dtype)
     return sp.csr_matrix(
-        (gathered_data[keep], local_cols[keep], new_indptr),
+        (gathered_data[keep], kept_cols.astype(index_dtype, copy=False),
+         new_indptr),
         shape=(num_rows, num_cols))
 
 
@@ -313,8 +326,8 @@ class SubgraphView:
                  user_ids: np.ndarray, item_ids: np.ndarray):
         self._views: Dict[str, sp.csr_matrix] = {}
         self.parent = parent
-        self.user_ids = np.unique(np.asarray(user_ids, dtype=np.int64))
-        self.item_ids = np.unique(np.asarray(item_ids, dtype=np.int64))
+        self.user_ids = np.unique(as_index_array(user_ids, parent.num_users))
+        self.item_ids = np.unique(as_index_array(item_ids, parent.num_items))
         if self.user_ids.size == 0 or self.item_ids.size == 0:
             raise ValueError("subgraph view needs at least one user and item")
         if self.user_ids[0] < 0 or self.user_ids[-1] >= parent.num_users:
@@ -335,7 +348,8 @@ class SubgraphView:
 
     def local_users(self, global_users: np.ndarray) -> np.ndarray:
         """Map global user ids to local rows (raises if absent)."""
-        local = self._user_lut[np.asarray(global_users, dtype=np.int64)]
+        local = self._user_lut[as_index_array(global_users,
+                                              self.parent.num_users)]
         if (local < 0).any():
             missing = np.unique(np.asarray(global_users)[local < 0])[:8]
             raise KeyError(f"user ids not present in the subgraph view: "
@@ -344,7 +358,8 @@ class SubgraphView:
 
     def local_items(self, global_items: np.ndarray) -> np.ndarray:
         """Map global item ids to local rows (raises if absent)."""
-        local = self._item_lut[np.asarray(global_items, dtype=np.int64)]
+        local = self._item_lut[as_index_array(global_items,
+                                              self.parent.num_items)]
         if (local < 0).any():
             missing = np.unique(np.asarray(global_items)[local < 0])[:8]
             raise KeyError(f"item ids not present in the subgraph view: "
@@ -368,7 +383,8 @@ class SubgraphView:
         if space == "item":
             return self._item_lut, self.num_items
         if space == "relation":
-            return (np.arange(self.num_relations, dtype=np.int64),
+            return (np.arange(self.num_relations,
+                              dtype=index_dtype_for(self.num_relations)),
                     self.num_relations)
         joint = np.concatenate(
             [self._user_lut,

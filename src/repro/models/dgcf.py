@@ -25,6 +25,7 @@ import scipy.sparse as sp
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.engine.precision import as_index_array, get_dtype
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn.layers import Embedding
@@ -32,7 +33,7 @@ from repro.nn.layers import Embedding
 
 def _safe_inv_sqrt(degrees: np.ndarray) -> np.ndarray:
     """Elementwise ``deg**-0.5`` with zeros left at zero."""
-    result = np.zeros_like(degrees, dtype=np.float64)
+    result = np.zeros_like(degrees, dtype=get_dtype())
     nonzero = degrees > 0
     result[nonzero] = degrees[nonzero] ** -0.5
     return result
@@ -66,8 +67,8 @@ class DGCF(Recommender):
         self.user_embedding = Embedding(graph.num_users, embed_dim, rng=rng)
         self.item_embedding = Embedding(graph.num_items, embed_dim, rng=rng)
         coo = graph.interaction.tocoo()
-        self._edge_users = coo.row.astype(np.int64)
-        self._edge_items = coo.col.astype(np.int64)
+        self._edge_users = as_index_array(coo.row, graph.num_users)
+        self._edge_items = as_index_array(coo.col, graph.num_items)
 
     def _intent_adjacencies(self, logits: np.ndarray) -> List[Tuple[sp.csr_matrix, sp.csr_matrix]]:
         """Per-intent normalized adjacencies from the routing logits.
@@ -102,7 +103,8 @@ class DGCF(Recommender):
         item_out = [chunk for chunk in item_chunks]
 
         for _ in range(self.num_layers):
-            logits = np.zeros((len(self._edge_users), self.num_intents))
+            logits = np.zeros((len(self._edge_users), self.num_intents),
+                              dtype=get_dtype())
             new_users = user_chunks
             new_items = item_chunks
             for _ in range(self.num_iterations):

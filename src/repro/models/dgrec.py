@@ -18,6 +18,7 @@ import scipy.sparse as sp
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.engine.precision import get_dtype
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn import init
@@ -32,7 +33,7 @@ def _decay_weights(graph: CollaborativeHeteroGraph, decay: float) -> sp.csr_matr
     insertion order) receives weight 1, the one before ``decay``, etc.
     """
     interaction = graph.interaction.tocsr()
-    weights = interaction.copy().astype(np.float64)
+    weights = interaction.copy().astype(get_dtype())
     for user in range(interaction.shape[0]):
         start, stop = interaction.indptr[user], interaction.indptr[user + 1]
         count = stop - start

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.engine.precision import get_dtype
 from repro.graph.hetero import CollaborativeHeteroGraph
 from repro.models.base import Recommender
 from repro.nn import init
@@ -79,7 +80,7 @@ class KGAT(Recommender):
                           for t in (0, 1)]
         projected_tail = [ops.matmul(tail_emb, self.relation_transform[np.int64(t)])
                           for t in (0, 1)]
-        type_mask = (types == 0).astype(np.float64).reshape(-1, 1)
+        type_mask = (types == 0).astype(get_dtype()).reshape(-1, 1)
         mask = Tensor(type_mask)
         inv_mask = Tensor(1.0 - type_mask)
         head_proj = ops.add(ops.mul(projected_head[0], mask),

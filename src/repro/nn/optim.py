@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.autograd.sparse import RowSparseGrad
+from repro.engine.precision import get_index_dtype
 from repro.nn.module import Parameter
 
 _SPARSE_MODES = ("lazy", "dense_correct")
@@ -194,7 +195,8 @@ class SGD(Optimizer):
             g = velocity[rows]
         param.data[rows] -= self.lr * g
         if self._row_last[i] is None and (self.weight_decay or self.momentum):
-            self._row_last[i] = np.zeros(param.data.shape[0], dtype=np.int64)
+            self._row_last[i] = np.zeros(param.data.shape[0],
+                                         dtype=get_index_dtype())
         if self._row_last[i] is not None:
             self._row_last[i][rows] = self._step_count
 
@@ -228,8 +230,9 @@ class SGD(Optimizer):
         for i in range(len(self.parameters)):
             np.copyto(self._velocity[i], state[f"velocity.{i}"])
             key = f"row_last.{i}"
-            self._row_last[i] = (np.asarray(state[key], dtype=np.int64).copy()
-                                 if key in state else None)
+            self._row_last[i] = (
+                np.asarray(state[key], dtype=get_index_dtype()).copy()
+                if key in state else None)
 
 
 class Adam(Optimizer):
@@ -322,9 +325,9 @@ class Adam(Optimizer):
             # Rows all start at the global pre-step count so a lazy
             # optimizer taking over after dense steps stays corrected.
             self._row_steps[i] = np.full(num_rows, self._step_count - 1,
-                                         dtype=np.int64)
+                                         dtype=get_index_dtype())
             self._row_last[i] = np.full(num_rows, self._step_count - 1,
-                                        dtype=np.int64)
+                                        dtype=get_index_dtype())
         row_steps, row_last = self._row_steps[i], self._row_last[i]
         trailing = (1,) * (g.ndim - 1)
         if self.weight_decay:
@@ -365,9 +368,9 @@ class Adam(Optimizer):
             steps_key, last_key = f"row_steps.{i}", f"row_last.{i}"
             if steps_key in state:
                 self._row_steps[i] = np.asarray(
-                    state[steps_key], dtype=np.int64).copy()
+                    state[steps_key], dtype=get_index_dtype()).copy()
                 self._row_last[i] = np.asarray(
-                    state[last_key], dtype=np.int64).copy()
+                    state[last_key], dtype=get_index_dtype()).copy()
             else:
                 self._row_steps[i] = None
                 self._row_last[i] = None

@@ -29,6 +29,7 @@ class TrainConfig:
     prefetch: Optional[bool] = None  # None -> REPRO_PREFETCH env (default on)
     sparse_grads: Optional[bool] = None  # None -> on for minibatch, off for full
     sparse_adam_mode: str = "lazy"  # "lazy" (O(batch) steps) or "dense_correct"
+    arena: Optional[bool] = None  # None -> REPRO_ENGINE_ARENA env (default on)
     eval_every: int = 1
     eval_ks: Tuple[int, ...] = (5, 10, 20)
     early_stopping_metric: str = "hr@10"
@@ -69,6 +70,19 @@ class TrainConfig:
         if self.sparse_grads is not None:
             return bool(self.sparse_grads)
         return self.propagation == "minibatch"
+
+    def resolved_arena(self) -> bool:
+        """Whether training steps run inside a buffer-arena scope.
+
+        On by default: pooled buffers are fully overwritten before use,
+        so pooled and allocate-fresh runs are bitwise identical.
+        ``arena=False`` (or ``REPRO_ENGINE_ARENA=0``) keeps the
+        allocate-fresh path as the parity oracle.
+        """
+        if self.arena is not None:
+            return bool(self.arena)
+        from repro.engine.arena import arena_enabled
+        return arena_enabled()
 
 
 @dataclass

@@ -25,9 +25,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import contextlib
+
 from repro.autograd.sparse import use_sparse_grads
 from repro.data.sampling import BprSampler, EvalCandidates, build_eval_candidates
 from repro.data.split import Split
+from repro.engine import arena
 from repro.engine import instrument
 from repro.eval.protocol import evaluate_model
 from repro.models.base import Recommender
@@ -144,6 +147,7 @@ class Trainer:
                                   weight_decay=self.config.weight_decay,
                                   sparse_mode=self.config.sparse_adam_mode)
         self._sparse_grads = self.config.resolved_sparse_grads()
+        self._arena = self.config.resolved_arena()
         self._epoch_touched: List[float] = []
         self._planner: Optional[MinibatchPlanner] = None
         if self.config.propagation == "minibatch":
@@ -167,6 +171,17 @@ class Trainer:
         self.optimizer.step()
         self._epoch_touched.append(self.optimizer.touched_fraction())
 
+    def _step_scope(self):
+        """Arena scope for one optimizer step (no-op when disabled).
+
+        The scope covers forward, backward, clipping and the parameter
+        update; by scope exit every gradient has been consumed and the
+        loss value read, so the step's buffers recycle safely.
+        """
+        if self._arena:
+            return arena.step_scope()
+        return contextlib.nullcontext()
+
     def _full_epoch(self, batches: int) -> Tuple[float, float, float]:
         """Alg. 1: full-graph propagation per batch."""
         epoch_loss = sample_seconds = compute_seconds = 0.0
@@ -175,11 +190,13 @@ class Trainer:
             users, positives, negatives = self.sampler.sample()
             sample_seconds += time.perf_counter() - start
             start = time.perf_counter()
-            self.optimizer.zero_grad()
-            loss = self.model.bpr_loss(users, positives, negatives,
-                                       l2=self.config.l2)
-            self._apply_gradients(loss)
-            epoch_loss += loss.item()
+            with self._step_scope():
+                self.optimizer.zero_grad()
+                loss = self.model.bpr_loss(users, positives, negatives,
+                                           l2=self.config.l2)
+                self._apply_gradients(loss)
+                epoch_loss += loss.item()
+                del loss
             compute_seconds += time.perf_counter() - start
         return epoch_loss, sample_seconds, compute_seconds
 
@@ -202,12 +219,14 @@ class Trainer:
             for step in steps:
                 sample_seconds += step.sample_seconds
                 start = time.perf_counter()
-                self.optimizer.zero_grad()
-                loss = self.model.bpr_loss_on(
-                    step.subgraph, step.users, step.positives, step.negatives,
-                    l2=self.config.l2)
-                self._apply_gradients(loss)
-                epoch_loss += loss.item()
+                with self._step_scope():
+                    self.optimizer.zero_grad()
+                    loss = self.model.bpr_loss_on(
+                        step.subgraph, step.users, step.positives,
+                        step.negatives, l2=self.config.l2)
+                    self._apply_gradients(loss)
+                    epoch_loss += loss.item()
+                    del loss
                 compute_seconds += time.perf_counter() - start
         finally:
             if pipeline is not None:

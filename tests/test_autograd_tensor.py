@@ -4,12 +4,13 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, no_grad, is_grad_enabled, ops
+from repro.engine import get_dtype
 
 
 class TestTensorBasics:
-    def test_wraps_data_as_float64(self):
+    def test_wraps_data_as_engine_dtype(self):
         t = Tensor(np.array([1, 2, 3], dtype=np.int32))
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == get_dtype()  # float64 unless opted down
 
     def test_shape_ndim_size(self):
         t = Tensor(np.zeros((2, 3)))

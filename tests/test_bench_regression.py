@@ -132,3 +132,44 @@ def test_compare_skips_empty_section_as_not_run():
     fresh = json.loads(json.dumps(baseline))
     fresh["presets"]["large"]["optimizer"] = {}
     assert check_regression.compare(baseline, fresh) == []
+
+
+def _baseline_with_memory(reduction=0.5, parity=True, preset="large"):
+    return {"presets": {preset: {
+        "backends": {"fast": {"epochs_per_sec": 100.0}},
+        "memory": {
+            "production": {"peak_rss_mb": 500.0},
+            "oracle": {"peak_rss_mb": 1000.0},
+            "rss_reduction_vs_oracle": reduction,
+            "max_rel_loss_diff": 1e-8 if parity else 0.5,
+            "loss_parity_ok": parity,
+        },
+    }}}
+
+
+def test_compare_enforces_memory_rss_floor_on_large():
+    problems = check_regression.compare(_baseline_with_memory(0.5),
+                                        _baseline_with_memory(0.2))
+    assert problems and any("peak-RSS reduction" in p for p in problems)
+    # The floor binds the committed baseline too.
+    problems = check_regression.compare(_baseline_with_memory(0.2),
+                                        _baseline_with_memory(0.5))
+    assert problems and any("baseline" in p for p in problems)
+
+
+def test_compare_flags_memory_loss_parity_failure():
+    problems = check_regression.compare(_baseline_with_memory(),
+                                        _baseline_with_memory(parity=False))
+    assert problems and any("diverged" in p for p in problems)
+
+
+def test_compare_memory_floor_only_applies_to_large():
+    low = _baseline_with_memory(0.05, preset="tiny")
+    assert check_regression.compare(low, json.loads(json.dumps(low))) == []
+
+
+def test_compare_skips_empty_memory_section():
+    baseline = _baseline_with_memory(0.5)
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["memory"] = {}
+    assert check_regression.compare(baseline, fresh) == []

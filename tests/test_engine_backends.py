@@ -12,13 +12,26 @@ import pytest
 import scipy.sparse as sp
 
 from repro.autograd import Tensor, gradcheck, no_grad, ops
-from repro.engine import available_backends, get_backend, set_backend, use_backend
+from repro.engine import (
+    available_backends,
+    get_backend,
+    set_backend,
+    tolerances,
+    use_backend,
+)
 from repro.engine.backends import ThreadedBackend
 from repro.models import create_model
 from repro.nn.optim import Adam
 
 ALL_BACKENDS = ("naive", "fast", "threaded")
 PARITY_MODELS = ("dgnn", "lightgcn", "ngcf", "diffnet", "mhcn")
+
+
+def _parity_atol():
+    """Cross-backend disagreement is pure accumulation-order noise, so the
+    bar scales with the active engine precision: 1e-8 under the default
+    float64, the policy atol (1e-4) under the float32 CI leg."""
+    return max(1e-8, tolerances().atol)
 
 
 def _random_csr(rng, rows, cols, density=0.2):
@@ -161,7 +174,8 @@ class TestModelParity:
             for side in (0, 1):
                 np.testing.assert_allclose(embeddings["naive"][side],
                                            embeddings[backend][side],
-                                           atol=1e-8, err_msg=backend)
+                                           atol=_parity_atol(),
+                                           err_msg=backend)
 
     @pytest.mark.parametrize("model_name", PARITY_MODELS)
     def test_one_training_step_parity(self, model_name, tiny_graph):
@@ -179,11 +193,12 @@ class TestModelParity:
         loss_naive, state_naive = snapshots["naive"]
         for backend in ALL_BACKENDS[1:]:
             loss_other, state_other = snapshots[backend]
-            assert abs(loss_naive - loss_other) < 1e-8
+            assert abs(loss_naive - loss_other) < _parity_atol()
             assert set(state_naive) == set(state_other)
             for name in state_naive:
                 np.testing.assert_allclose(state_naive[name], state_other[name],
-                                           atol=1e-8, err_msg=f"{backend}/{name}")
+                                           atol=_parity_atol(),
+                                           err_msg=f"{backend}/{name}")
 
     def test_dgnn_sampled_loss_parity(self, tiny_graph):
         losses = {}
@@ -196,4 +211,4 @@ class TestModelParity:
                                               seed=11)
                 losses[backend] = float(loss.data)
         for backend in ALL_BACKENDS[1:]:
-            assert abs(losses["naive"] - losses[backend]) < 1e-8
+            assert abs(losses["naive"] - losses[backend]) < _parity_atol()

@@ -95,7 +95,7 @@ def test_minibatch_bench_smoke(tmp_path):
         preset="tiny", epochs=1, batches_per_epoch=2, batch_size=128,
         embed_dim=8, num_layers=1, fanouts=(5,), expand_repeats=1)
 
-    assert set(section) == {"full", "fanout_5", "expand"}
+    assert set(section) == {"full", "fanout_5", "expand", "peak_rss_mb"}
     assert section["full"]["epochs_per_sec"] > 0
     assert section["fanout_5"]["epochs_per_sec"] > 0
     assert section["fanout_5"]["speedup_over_full"] > 0

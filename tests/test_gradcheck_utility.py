@@ -4,11 +4,21 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, gradcheck, numerical_gradient, ops
+from repro.engine import use_dtype
+
+
+def _f64(values):
+    # ``numerical_gradient``'s 1e-6 central-difference step assumes
+    # float64 inputs (gradcheck upcasts before calling it); build them
+    # explicitly so the suite also passes under the float32 CI leg.
+    with use_dtype("float64"):
+        return Tensor(np.asarray(values, dtype=np.float64),
+                      requires_grad=True)
 
 
 class TestNumericalGradient:
     def test_matches_analytic_for_quadratic(self):
-        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        x = _f64([1.0, -2.0, 3.0])
 
         def fn(x):
             return (x * x).sum()
@@ -17,14 +27,14 @@ class TestNumericalGradient:
         np.testing.assert_allclose(grad, 2.0 * x.data, atol=1e-5)
 
     def test_does_not_mutate_input(self):
-        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        x = _f64([1.0, 2.0])
         snapshot = x.data.copy()
         numerical_gradient(lambda x: x.sum(), [x], 0)
         np.testing.assert_array_equal(x.data, snapshot)
 
     def test_respects_index(self):
-        x = Tensor(np.array([2.0]), requires_grad=True)
-        y = Tensor(np.array([3.0]), requires_grad=True)
+        x = _f64([2.0])
+        y = _f64([3.0])
 
         def fn(x, y):
             return (x * y).sum()

@@ -5,6 +5,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.autograd import Tensor, no_grad
+from repro.engine import tolerances
 from repro.graph import CollaborativeHeteroGraph
 from repro.models.dgcf import DGCF, _safe_inv_sqrt
 from repro.models.dgrec import DGRec, _decay_weights
@@ -65,7 +66,7 @@ class TestDGRec:
         weights = _decay_weights(tiny_graph, decay=0.8)
         sums = np.asarray(weights.sum(axis=1)).reshape(-1)
         active = np.asarray(tiny_graph.interaction.sum(axis=1)).reshape(-1) > 0
-        np.testing.assert_allclose(sums[active], 1.0)
+        np.testing.assert_allclose(sums[active], 1.0, rtol=tolerances().rtol)
 
     def test_recent_items_weighted_more(self, tiny_graph):
         weights = _decay_weights(tiny_graph, decay=0.5).tocsr()
@@ -207,7 +208,8 @@ class TestSAMN:
             joint = ops.mul(ops.gather_rows(users, edges.dst),
                             ops.gather_rows(users, edges.src))
             attention = ops.softmax(ops.matmul(joint, model.memory_keys), axis=1)
-        np.testing.assert_allclose(attention.data.sum(axis=1), 1.0)
+        np.testing.assert_allclose(attention.data.sum(axis=1), 1.0,
+                                   rtol=tolerances().rtol)
 
     def test_no_social_graph_passthrough(self, tiny_dataset, tiny_split):
         graph = CollaborativeHeteroGraph(tiny_dataset, tiny_split.train_pairs,
@@ -267,7 +269,8 @@ class TestGraphCF:
         layer2 = tiny_graph.bipartite_norm @ layer1
         expected = (joint + layer1 + layer2) / 3.0
         np.testing.assert_allclose(users.data, expected[:tiny_graph.num_users],
-                                   atol=1e-10)
+                                   atol=tolerances().atol,
+                                   rtol=tolerances().rtol)
 
     def test_lightgcn_has_no_transform_parameters(self, tiny_graph):
         model = LightGCN(tiny_graph, embed_dim=8, seed=0)

@@ -5,6 +5,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.autograd import Tensor, gradcheck
+from repro.engine import tolerances
 from repro.graph.adjacency import row_normalize
 from repro.models.memory import MemoryBank
 
@@ -42,7 +43,8 @@ class TestMixtureTransform:
         for n in range(7):
             mixed = sum(gates[n, m] * bank.transforms.data[m] for m in range(4))
             expected[n] = x[n] @ mixed
-        np.testing.assert_allclose(out, expected, atol=1e-10)
+        tol = tolerances()
+        np.testing.assert_allclose(out, expected, atol=tol.atol, rtol=tol.rtol)
 
     def test_gradcheck_through_encoder(self):
         bank = MemoryBank(dim=3, num_units=2, rng=np.random.default_rng(3))
@@ -91,8 +93,10 @@ class TestEncodingModes:
 
     def test_gate_values_numpy_matches_tensor(self, bank):
         embeddings = np.random.default_rng(13).normal(size=(5, 6))
+        tol = tolerances()
         np.testing.assert_allclose(bank.gate_values(embeddings),
-                                   bank.gates(Tensor(embeddings)).data)
+                                   bank.gates(Tensor(embeddings)).data,
+                                   atol=tol.atol, rtol=tol.rtol)
 
 
 class TestDisentanglement:
@@ -109,7 +113,9 @@ class TestDisentanglement:
         gate = np.zeros((3, 4))
         gate[:, 2] = 1.0
         out = bank.mixture_transform(Tensor(x), Tensor(gate)).data
-        np.testing.assert_allclose(out, x @ bank.transforms.data[2], atol=1e-12)
+        tol = tolerances()
+        np.testing.assert_allclose(out, x @ bank.transforms.data[2],
+                                   atol=tol.atol, rtol=tol.rtol)
 
     def test_parameter_count(self, bank):
         # W1: 4*6*6, W2: 6*4, b: 4

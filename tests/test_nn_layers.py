@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, gradcheck
+from repro.engine import tolerances
 from repro.nn import Dropout, Embedding, LayerNorm, Linear, Sequential
 
 
@@ -17,7 +18,9 @@ class TestLinear:
         layer = Linear(3, 2, rng=rng)
         x = np.arange(6.0).reshape(2, 3)
         expected = x @ layer.weight.data + layer.bias.data
-        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+        tol = tolerances()
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected,
+                                   atol=tol.atol, rtol=tol.rtol)
 
     def test_no_bias(self, rng):
         layer = Linear(3, 2, bias=False, rng=rng)

@@ -3,12 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.engine import use_dtype
 from repro.nn import Adam, Parameter, SGD, clip_grad_norm
 from repro.nn.optim import Optimizer
 
 
 def _param(values):
-    p = Parameter(np.asarray(values, dtype=np.float64))
+    # Optimizer-algebra tests compare against float64 textbook references
+    # to near-machine precision, so the parameter must be float64 even
+    # when the suite runs under the float32 CI leg.
+    with use_dtype("float64"):
+        p = Parameter(np.asarray(values, dtype=np.float64))
     return p
 
 
@@ -148,7 +153,8 @@ class TestFoldedAdamTrajectory:
         p0 = rng.standard_normal((8, 4))
         grads = [rng.standard_normal((8, 4)) for _ in range(50)]
         lr, betas, eps = 0.05, (0.9, 0.999), 1e-8
-        p = Parameter(p0.copy())
+        with use_dtype("float64"):
+            p = Parameter(p0.copy())
         opt = Adam([p], lr=lr, betas=betas, eps=eps, weight_decay=wd)
         expected = self._reference(p0, grads, lr, betas, eps, wd)
         for g, want in zip(grads, expected):

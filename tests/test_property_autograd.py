@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.autograd import Tensor, gradcheck, ops
+from repro.engine import tolerances
 
 small_dims = st.integers(1, 5)
 
@@ -30,7 +31,8 @@ class TestAlgebraicIdentities:
         b = Tensor(rng.normal(size=(m, k)))
         left = ops.matmul(ops.mul(a, 2.0), b).data
         right = ops.mul(ops.matmul(a, b), 2.0).data
-        np.testing.assert_allclose(left, right, atol=1e-10)
+        tol = tolerances()
+        np.testing.assert_allclose(left, right, atol=tol.atol, rtol=tol.rtol)
 
     @settings(max_examples=25, deadline=None)
     @given(small_dims, small_dims, st.integers(0, 10_000))
@@ -38,7 +40,7 @@ class TestAlgebraicIdentities:
         rng = np.random.default_rng(seed)
         a = Tensor(np.abs(rng.normal(size=(rows, cols))) + 0.1)
         np.testing.assert_allclose(ops.exp(ops.log(a)).data, a.data,
-                                   rtol=1e-10)
+                                   rtol=max(1e-10, tolerances().rtol))
 
     @settings(max_examples=25, deadline=None)
     @given(small_dims, small_dims, st.integers(0, 10_000))
@@ -47,7 +49,7 @@ class TestAlgebraicIdentities:
         x = Tensor(rng.normal(size=(rows, cols)))
         np.testing.assert_allclose(
             ops.sigmoid(x).data + ops.sigmoid(ops.neg(x)).data, 1.0,
-            atol=1e-12)
+            atol=max(1e-12, tolerances().atol))
 
 
 class TestGradientProperties:
@@ -86,7 +88,9 @@ class TestGradientProperties:
         x2 = Tensor(values.copy(), requires_grad=True)
         ops.sum(ops.mul(ops.tanh(x1), 1.0)).backward()
         ops.sum(ops.mul(ops.tanh(x2), 3.0)).backward()
-        np.testing.assert_allclose(3.0 * x1.grad, x2.grad, atol=1e-10)
+        tol = tolerances()
+        np.testing.assert_allclose(3.0 * x1.grad, x2.grad,
+                                   atol=tol.atol, rtol=tol.rtol)
 
 
 class TestSegmentProperties:
@@ -97,8 +101,10 @@ class TestSegmentProperties:
         values = Tensor(rng.normal(size=(edges, 3)))
         ids = rng.integers(0, segments, size=edges)
         out = ops.segment_sum(values, ids, segments)
+        tol = tolerances()
         np.testing.assert_allclose(out.data.sum(axis=0),
-                                   values.data.sum(axis=0), atol=1e-10)
+                                   values.data.sum(axis=0),
+                                   atol=tol.atol, rtol=tol.rtol)
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(2, 30), st.integers(1, 6), st.integers(0, 10_000))
@@ -110,5 +116,6 @@ class TestSegmentProperties:
         sums = np.zeros(segments)
         np.add.at(sums, ids, out.data)
         occupied = np.bincount(ids, minlength=segments) > 0
-        np.testing.assert_allclose(sums[occupied], 1.0, atol=1e-9)
+        np.testing.assert_allclose(sums[occupied], 1.0,
+                                   atol=max(1e-9, tolerances().atol))
         assert np.all(out.data >= 0)

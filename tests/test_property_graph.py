@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.data import SyntheticConfig, generate_dataset, leave_one_out
+from repro.engine import tolerances
 from repro.graph import CollaborativeHeteroGraph, induced_subgraph
 
 
@@ -26,12 +27,14 @@ class TestGraphInvariants:
         user_total = (np.asarray(graph.user_social_joint.sum(axis=1)).ravel()
                       + np.asarray(graph.user_item_joint.sum(axis=1)).ravel())
         active = (graph.user_degree_social + graph.user_degree_interaction) > 0
-        np.testing.assert_allclose(user_total[active], 1.0)
+        np.testing.assert_allclose(user_total[active], 1.0,
+                                   rtol=tolerances().rtol)
         item_total = (np.asarray(graph.item_user_joint.sum(axis=1)).ravel()
                       + np.asarray(graph.item_relation_joint.sum(axis=1)).ravel())
         item_active = (graph.item_degree_interaction
                        + graph.item_degree_relation) > 0
-        np.testing.assert_allclose(item_total[item_active], 1.0)
+        np.testing.assert_allclose(item_total[item_active], 1.0,
+                                   rtol=tolerances().rtol)
 
     @settings(max_examples=10, deadline=None)
     @given(st.integers(0, 200), st.integers(20, 40), st.integers(40, 80))
@@ -39,7 +42,7 @@ class TestGraphInvariants:
         graph = _random_graph(seed, num_users, num_items)
         for name in ("uiu", "iui", "iri"):
             matrix = graph.metapath(name)
-            assert (abs(matrix - matrix.T) > 1e-12).nnz == 0
+            assert (abs(matrix - matrix.T) > tolerances().atol).nnz == 0
             assert matrix.diagonal().sum() == 0
 
     @settings(max_examples=10, deadline=None)
@@ -82,4 +85,5 @@ class TestSubgraphInvariants:
         assert sub.graph.social.nnz == graph.social.nnz
         np.testing.assert_allclose(
             sub.graph.user_social_joint.toarray(),
-            graph.user_social_joint.toarray(), atol=1e-12)
+            graph.user_social_joint.toarray(),
+            atol=max(1e-12, tolerances().atol))

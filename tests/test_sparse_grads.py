@@ -20,7 +20,7 @@ from repro.autograd import (
     sparse_grads_enabled,
     use_sparse_grads,
 )
-from repro.engine import available_backends, use_backend
+from repro.engine import available_backends, use_backend, use_dtype
 from repro.engine.backends import get_backend
 from repro.nn import Adam, Parameter, SGD, clip_grad_norm
 
@@ -203,6 +203,14 @@ class TestScatterAddDuplicateIndices:
             np.testing.assert_array_equal(table.grad.to_dense(), dense)
 
 
+def _param64(values):
+    # The lazy-optimizer trajectories are checked against float64
+    # textbook references to near-machine precision, so the parameters
+    # must be float64 even when the suite runs under the float32 CI leg.
+    with use_dtype("float64"):
+        return Parameter(np.asarray(values, dtype=np.float64).copy())
+
+
 def _reference_adam(p0, grads, lr=0.1, betas=(0.9, 0.999), eps=1e-8, wd=0.0):
     """Textbook m_hat/v_hat Adam, one trajectory."""
     p = np.asarray(p0, dtype=np.float64).copy()
@@ -223,7 +231,7 @@ def _reference_adam(p0, grads, lr=0.1, betas=(0.9, 0.999), eps=1e-8, wd=0.0):
 class TestLazyAdam:
     def test_untouched_rows_do_not_move(self, rng):
         p0 = rng.standard_normal((6, 3))
-        param = Parameter(p0.copy())
+        param = _param64(p0)
         opt = Adam([param], lr=0.1)
         param.grad = RowSparseGrad([2], rng.standard_normal((1, 3)), 6)
         opt.step()
@@ -233,7 +241,7 @@ class TestLazyAdam:
 
     def test_row_touched_every_step_matches_dense_reference(self, rng):
         p0 = rng.standard_normal((5, 3))
-        param = Parameter(p0.copy())
+        param = _param64(p0)
         opt = Adam([param], lr=0.1)
         grads = [rng.standard_normal((1, 3)) for _ in range(6)]
         for g in grads:
@@ -246,7 +254,7 @@ class TestLazyAdam:
         # A row touched at global steps 1 and 4 must be corrected with
         # its own counts n=1, n=2 — NOT the global step (TF LazyAdam).
         p0 = rng.standard_normal((5, 3))
-        param = Parameter(p0.copy())
+        param = _param64(p0)
         opt = Adam([param], lr=0.1)
         g1, g2 = rng.standard_normal((1, 3)), rng.standard_normal((1, 3))
         param.grad = RowSparseGrad([2], g1, 5)
@@ -267,7 +275,7 @@ class TestLazyAdam:
         zero = np.zeros((1, 2))
 
         def run(skips):
-            param = Parameter(p0.copy())
+            param = _param64(p0)
             opt = Adam([param], lr=0.1, weight_decay=0.5)
             param.grad = RowSparseGrad([1], zero, 4)
             opt.step()
@@ -299,8 +307,8 @@ class TestLazyAdam:
 
     def test_dense_correct_mode_bitwise_equals_dense_adam(self, rng):
         p0 = rng.standard_normal((10, 4))
-        sparse_param = Parameter(p0.copy())
-        dense_param = Parameter(p0.copy())
+        sparse_param = _param64(p0)
+        dense_param = _param64(p0)
         sparse_opt = Adam([sparse_param], lr=0.01, weight_decay=0.01,
                           sparse_mode="dense_correct")
         dense_opt = Adam([dense_param], lr=0.01, weight_decay=0.01)
@@ -349,7 +357,7 @@ class TestLazyAdam:
 class TestLazySGD:
     def test_untouched_rows_do_not_move_without_decay(self, rng):
         p0 = rng.standard_normal((5, 2))
-        param = Parameter(p0.copy())
+        param = _param64(p0)
         opt = SGD([param], lr=0.1)
         param.grad = RowSparseGrad([1], np.ones((1, 2)), 5)
         opt.step()
@@ -361,8 +369,8 @@ class TestLazySGD:
         # After a final step touching every row, the lazy trajectory
         # must equal the dense one exactly (multiplicative catch-up).
         p0 = rng.standard_normal((4, 2))
-        lazy_param = Parameter(p0.copy())
-        dense_param = Parameter(p0.copy())
+        lazy_param = _param64(p0)
+        dense_param = _param64(p0)
         lazy_opt = SGD([lazy_param], lr=0.1, weight_decay=0.05)
         dense_opt = SGD([dense_param], lr=0.1, weight_decay=0.05)
         schedule = []
@@ -382,7 +390,7 @@ class TestLazySGD:
 
     def test_momentum_velocity_decays_while_untouched(self, rng):
         p0 = np.zeros((3, 1))
-        param = Parameter(p0.copy())
+        param = _param64(p0)
         opt = SGD([param], lr=1.0, momentum=0.5)
         one = np.ones((1, 1))
         param.grad = RowSparseGrad([0], one, 3)
