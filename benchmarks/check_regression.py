@@ -50,6 +50,17 @@ _OPTIMIZER_KEYS = ("epochs_per_sec", "speedup_over_dense",
 # beat dense Adam by at least this factor at these presets, in the
 # committed artifact and in any fresh re-bench that runs the sweep.
 _LAZY_SPEEDUP_FLOORS = {"large": 2.0}
+# Serving-section (sweep 8) per-arm metrics: request throughput and the
+# ANN arms' speedup over the exact arm.
+_SERVING_ARMS = ("exact", "ivf", "lsh")
+_SERVING_KEYS = ("queries_per_sec", "speedup_over_exact")
+# Hard floors on the sweep-8 ANN serving path: at these presets the best
+# ANN arm must beat exact scoring by the given throughput factor while
+# holding the given recall@k against the exact top-k.  Enforced on both
+# the committed artifact and any fresh re-bench that runs the sweep;
+# sections marked ``timing_only`` (the untrained xlarge entry) are
+# exempt.
+_SERVING_FLOORS = {"large": {"speedup_over_exact": 3.0, "recall_at_k": 0.95}}
 # Hard floors on the sweep-7 peak-RSS reduction: the production
 # configuration (float32 + int32 indices + buffer arena) must use at
 # least this fraction less peak memory than the allocate-fresh
@@ -61,7 +72,7 @@ _MEMORY_RSS_FLOORS = {"large": 0.30}
 # *missing* section (key absent) distinctly from one that was not run
 # (present but empty), which is normal for partial smoke refreshes.
 _SECTIONS = ("backends", "memory_kernel", "dtype_sweep", "thread_sweep",
-             "minibatch", "optimizer", "memory")
+             "minibatch", "optimizer", "memory", "serving")
 
 
 def _presets(payload: Dict) -> Dict[str, Dict]:
@@ -160,6 +171,49 @@ def compare(baseline: Dict, fresh: Dict,
                         f"{preset}/optimizer/training_lazy ({label}): "
                         f"lazy-over-dense speedup {speedup:.2f}x is below "
                         f"the required {floor:.1f}x floor")
+        base_serving = base_presets[preset].get("serving", {})
+        fresh_serving = fresh_presets[preset].get("serving", {})
+        for arm in _SERVING_ARMS:
+            base_stats = base_serving.get(arm)
+            fresh_stats = fresh_serving.get(arm)
+            if not isinstance(base_stats, dict) or not isinstance(fresh_stats, dict):
+                continue
+            for key in _SERVING_KEYS:
+                old = base_stats.get(key)
+                new = fresh_stats.get(key)
+                if not old or new is None:
+                    continue
+                drop = (old - new) / old
+                if drop > threshold:
+                    problems.append(
+                        f"{preset}/serving/{arm}: {key} regressed "
+                        f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+        serving_floors = _SERVING_FLOORS.get(preset)
+        if serving_floors is not None:
+            for label, serving in (("baseline", base_serving),
+                                   ("fresh", fresh_serving)):
+                if not isinstance(serving, dict) or not serving:
+                    continue
+                if serving.get("timing_only"):
+                    continue
+                best = serving.get("best")
+                if not isinstance(best, dict):
+                    problems.append(
+                        f"{preset}/serving ({label}): section has no 'best' "
+                        f"ANN summary — run the serving sweep with at least "
+                        f"one ANN arm (ivf/lsh) so the floors can be checked")
+                    continue
+                for key, floor in serving_floors.items():
+                    value = best.get(key)
+                    if value is None:
+                        problems.append(
+                            f"{preset}/serving/best ({label}): missing "
+                            f"{key!r}; cannot check the {floor:g} floor")
+                    elif value < floor:
+                        problems.append(
+                            f"{preset}/serving/best ({label}): "
+                            f"{best.get('arm')} {key}={value:.3f} is below "
+                            f"the required {floor:g} floor")
         rss_floor = _MEMORY_RSS_FLOORS.get(preset)
         for label, sections in (("baseline", base_presets[preset]),
                                 ("fresh", fresh_presets[preset])):

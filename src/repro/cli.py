@@ -7,6 +7,7 @@ Commands
 ``compare``    run several models under the identical protocol (mini Table II)
 ``experiment`` regenerate one paper artifact (table1..4, fig4..10)
 ``generate``   write a synthetic dataset to disk (.npz or text directory)
+``serve-bench`` run the sweep-8 serving A/B (exact vs IVF vs LSH retrieval)
 """
 
 from __future__ import annotations
@@ -121,6 +122,32 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.engine import use_dtype
+    from repro.experiments.engine_bench import (
+        EngineBenchResults,
+        merge_serving_section,
+        run_serving_bench,
+    )
+
+    with use_dtype(args.dtype):
+        section = run_serving_bench(
+            preset=args.preset, k=args.k, block_size=args.block_size,
+            num_queries=args.num_queries, train_epochs=args.train_epochs,
+            nprobe=args.nprobe, num_cells=args.num_cells,
+            num_bits=args.num_bits, seed=args.seed)
+    rendered = EngineBenchResults(dataset_name=args.preset, epochs=0)
+    rendered.serving = section
+    lines = rendered.render().splitlines()
+    start = next(i for i, line in enumerate(lines)
+                 if line.startswith("serving"))
+    print("\n".join(lines[start:]))
+    if args.output:
+        merge_serving_section(args.output, args.preset, section)
+        print(f"merged serving section into {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DGNN (ICDE 2023) reproduction toolkit")
@@ -156,6 +183,27 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("output")
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="sweep-8 serving A/B: exact vs IVF vs LSH retrieval")
+    serve.add_argument("--preset", default="medium", choices=sorted(PRESETS))
+    serve.add_argument("--k", type=int, default=20)
+    serve.add_argument("--block-size", type=int, default=512)
+    serve.add_argument("--num-queries", type=int, default=4096)
+    serve.add_argument("--train-epochs", type=int, default=0,
+                       help="briefly train before snapshotting (ANN recall "
+                            "needs trained cluster structure)")
+    serve.add_argument("--nprobe", type=int, default=8)
+    serve.add_argument("--num-cells", type=int, default=None,
+                       help="IVF cells (default ~sqrt(num_items))")
+    serve.add_argument("--num-bits", type=int, default=7)
+    serve.add_argument("--dtype", default="float32",
+                       choices=["float32", "float64"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--output", default=None,
+                       help="BENCH_engine.json to merge the section into")
+    serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -1,0 +1,71 @@
+"""Shared ragged-CSR row gathering.
+
+Several hot paths walk the same pattern: given a CSR ``indptr`` and a
+set of row ids, flatten every selected row's entries into one
+contiguous layout without a per-row Python loop.  Neighbourhood
+expansion (:mod:`repro.graph.sampling`), the full-ranking train-item
+mask (:mod:`repro.eval.full_ranking`) and the serving layer's
+block mask (:mod:`repro.serve.service`) all re-implemented it
+independently before this module existed; they now share one helper so
+the index arithmetic lives — and is tested — in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+
+class RaggedRows(NamedTuple):
+    """The flattened layout of a ragged CSR row gather.
+
+    Attributes
+    ----------
+    positions:
+        ``(total,)`` int64 positions into the CSR ``indices``/``data``
+        arrays, ordered row by row (``indices[positions]`` is the
+        concatenation of every selected row's column list).
+    counts:
+        ``(len(rows),)`` entries per selected row (its CSR degree).
+    offsets:
+        ``(len(rows),)`` start of each row's slice in the flattened
+        layout (``positions[offsets[i]:offsets[i] + counts[i]]`` are
+        row ``i``'s entries).
+    """
+
+    positions: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Number of gathered entries across all selected rows."""
+        return int(self.positions.size)
+
+    def owners(self) -> np.ndarray:
+        """Local row index owning each flattened slot (``(total,)``)."""
+        return np.repeat(np.arange(len(self.counts)), self.counts)
+
+
+def gather_ragged_rows(indptr: np.ndarray, rows: np.ndarray) -> RaggedRows:
+    """Flatten the CSR entries of ``rows`` into one contiguous layout.
+
+    Pure index arithmetic — no data array is touched, so one gather
+    plan can drive ``indices`` and ``data`` lookups alike.  Positions
+    are computed in int64 regardless of the engine index policy: they
+    address the *edge* domain, which can exceed the node domain the
+    policy is sized for.
+    """
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return RaggedRows(positions=empty, counts=empty.copy(),
+                          offsets=empty.copy())
+    counts = indptr[rows + 1] - indptr[rows]
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    total = int(counts.sum())
+    positions = (np.arange(total, dtype=np.int64)
+                 - np.repeat(offsets, counts)
+                 + np.repeat(indptr[rows].astype(np.int64), counts))
+    return RaggedRows(positions=positions, counts=counts, offsets=offsets)

@@ -5,6 +5,18 @@ Tables II/III report).  Production evaluations often rank the held-out
 positive against *every* item the user has not interacted with; this
 module implements that protocol so the two can be cross-checked — the
 model ordering should agree, while absolute numbers drop sharply.
+
+The score blocks here are also the serving layer's hot path
+(:mod:`repro.serve`), so two production disciplines apply:
+
+* **Precision** — each ``(b, num_items)`` block is computed in the
+  embeddings' own dtype (float32 under the production policy), written
+  via ``np.matmul(..., out=...)`` so a silent float64 upcast upstream
+  fails loudly instead of doubling the block's memory traffic.
+* **Allocation** — blocks are checked out of the engine's buffer arena
+  (:mod:`repro.engine.arena`) instead of freshly allocated per block;
+  inside a ``step_scope`` the same physical buffer is recycled across
+  blocks and calls.
 """
 
 from __future__ import annotations
@@ -14,6 +26,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.data.split import Split
+from repro.engine import arena
+from repro.engine.ragged import gather_ragged_rows
 from repro.eval.metrics import hit_rate_at, ndcg_at, top_k_indices
 
 
@@ -21,15 +35,30 @@ def _mask_train_items(scores: np.ndarray, block_users: np.ndarray,
                       indptr: np.ndarray, indices: np.ndarray) -> None:
     """Set each block user's training items to ``-inf``, in place.
 
-    Ragged CSR gather: flatten every block user's training-item list
-    into one (row, col) index pair set — no per-user loop.
+    One shared ragged CSR gather (:func:`gather_ragged_rows`) flattens
+    every block user's training-item list into one (row, col) index
+    pair set — no per-user loop.
     """
-    counts = indptr[block_users + 1] - indptr[block_users]
-    rows = np.repeat(np.arange(len(block_users)), counts)
-    offsets = (np.arange(int(counts.sum()))
-               - np.repeat(np.cumsum(counts) - counts, counts))
-    cols = indices[np.repeat(indptr[block_users], counts) + offsets]
+    gathered = gather_ragged_rows(indptr, block_users)
+    rows = gathered.owners()
+    cols = indices[gathered.positions]
     scores[rows, cols] = -np.inf
+
+
+def _score_block(user_emb: np.ndarray, item_emb: np.ndarray,
+                 block_users: np.ndarray) -> np.ndarray:
+    """One ``(b, num_items)`` score block in the embeddings' dtype.
+
+    The output buffer comes from the engine arena (recycled across
+    blocks inside a ``step_scope``, plain ``np.empty`` outside one) and
+    is fully overwritten by the matmul, so pooled and allocate-fresh
+    runs are bitwise identical.  ``np.matmul`` refuses to cast into
+    ``out``, so a dtype mismatch between the two embedding tables — the
+    silent-upcast failure mode — raises instead of upcasting.
+    """
+    scores = arena.empty((len(block_users), item_emb.shape[0]),
+                         user_emb.dtype)
+    return np.matmul(user_emb[block_users], item_emb.T, out=scores)
 
 
 def full_ranking_ranks(model, split: Split, batch_size: int = 256,
@@ -50,6 +79,9 @@ def full_ranking_ranks(model, split: Split, batch_size: int = 256,
         Exclude each user's training items from the ranking (standard).
     max_users:
         Optional uniform subsample of test users for quick estimates.
+        The subsample is drawn from a generator seeded with ``seed``
+        alone, so repeated calls with the same arguments select the
+        same users.
     """
     user_emb, item_emb = model.final_embeddings()
     users = split.test_users
@@ -63,17 +95,20 @@ def full_ranking_ranks(model, split: Split, batch_size: int = 256,
     train_matrix = split.train_matrix().tocsr()
     train_matrix.sort_indices()
     indptr, indices = train_matrix.indptr, train_matrix.indices
+    # Ranks accumulate tie counts; float64 is the metric domain, not a
+    # score-block upcast.
     ranks = np.empty(len(users), dtype=np.float64)
     for start in range(0, len(users), batch_size):
         block_users = users[start:start + batch_size]
         block_positives = positives[start:start + batch_size]
-        scores = user_emb[block_users] @ item_emb.T  # (b, num_items)
+        scores = _score_block(user_emb, item_emb, block_users)
         if mask_train:
             _mask_train_items(scores, block_users, indptr, indices)
         positive_scores = scores[np.arange(len(block_users)), block_positives]
         better = (scores > positive_scores[:, None]).sum(axis=1)
         ties = (scores == positive_scores[:, None]).sum(axis=1) - 1
         ranks[start:start + len(block_users)] = better + 0.5 * ties
+        arena.release(scores)
     return ranks
 
 
@@ -96,10 +131,11 @@ def full_ranking_topk(model, split: Split, users: Optional[np.ndarray] = None,
     top = np.empty((len(users), min(top_n, item_emb.shape[0])), dtype=np.int64)
     for start in range(0, len(users), batch_size):
         block_users = users[start:start + batch_size]
-        scores = user_emb[block_users] @ item_emb.T
+        scores = _score_block(user_emb, item_emb, block_users)
         if mask_train:
             _mask_train_items(scores, block_users, indptr, indices)
         top[start:start + len(block_users)] = top_k_indices(scores, top_n)
+        arena.release(scores)
     return top
 
 

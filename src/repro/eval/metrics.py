@@ -20,6 +20,13 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     sort), then orders just the selected k.  Works on a 1-D score vector
     (returns ``(k,)`` indices) or row-wise on a 2-D score matrix
     (returns ``(rows, k)``).  ``k`` is clamped to the number of scores.
+
+    Ties *within* the selected k are broken deterministically by
+    ascending index (lexsort on ``(-score, index)``), so equal-scoring
+    items always emerge in the same order — the property the serving
+    layer's bitwise snapshot-parity contract relies on.  Which tied
+    items are selected at the k boundary follows ``argpartition``,
+    which is deterministic for a given input.
     """
     scores = np.asarray(scores)
     if scores.ndim == 0:
@@ -32,7 +39,8 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     kth = min(k, n - 1)
     top = np.argpartition(-scores, kth, axis=-1)[..., :k]
     top_scores = np.take_along_axis(scores, top, axis=-1)
-    order = np.argsort(-top_scores, axis=-1, kind="stable")
+    # lexsort: last key majors — descending score, then ascending index.
+    order = np.lexsort((top, -top_scores), axis=-1)
     return np.take_along_axis(top, order, axis=-1)
 
 

@@ -1,6 +1,6 @@
 """Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Seven sweeps, each answering one question about the engine's hot path:
+Eight sweeps, each answering one question about the engine's hot path:
 
 * :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
   (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
@@ -26,6 +26,13 @@ Seven sweeps, each answering one question about the engine's hot path:
   oracle, each measured in its own subprocess so ``ru_maxrss`` isolates
   one arm; at the ``xlarge`` preset it instead runs the 1M+ node
   end-to-end training leg and records epoch time and peak RSS.
+* :func:`run_serving_bench` — sweep 8, the online-serving A/B: publish
+  an :class:`repro.serve.EmbeddingSnapshot`, reload it memory-mapped,
+  and drive batched ``recommend`` requests through each retrieval mode
+  (``exact`` / ``ivf`` / ``lsh``), recording queries/sec, block-level
+  p50/p99 latency and recall@k against the exact arm.  At ``xlarge``
+  the entry is timing-only (untrained embeddings carry no cluster
+  structure for ANN recall to exploit).
 
 The *recorded production configuration* is ``float32``: every sweep
 except the explicit dtype A/B runs under ``use_dtype("float32")``, and
@@ -104,6 +111,7 @@ class EngineBenchResults:
     minibatch: Dict[str, Dict[str, float]] = field(default_factory=dict)
     optimizer: Dict[str, Dict[str, float]] = field(default_factory=dict)
     memory: Dict[str, object] = field(default_factory=dict)
+    serving: Dict[str, object] = field(default_factory=dict)
     production_dtype: str = PRODUCTION_DTYPE
 
     @property
@@ -194,6 +202,28 @@ class EngineBenchResults:
                     f"  oracle {oracle.get('peak_rss_mb', 0.0):.0f} MB "
                     f"({100.0 * float(reduction):.1f}% reduction, loss parity "
                     f"{'ok' if self.memory.get('loss_parity_ok') else 'FAILED'})")
+        if self.serving:
+            k = self.serving.get("k", 0)
+            lines.append(f"serving (top-{k}):")
+            for arm in ("exact", "ivf", "lsh"):
+                stats = self.serving.get(arm)
+                if not isinstance(stats, dict) or not stats:
+                    continue
+                extra = ""
+                if "recall_at_k" in stats:
+                    extra = (f", recall@{k} {stats['recall_at_k']:.3f}, "
+                             f"{stats.get('speedup_over_exact', 0.0):.2f}x "
+                             f"over exact")
+                lines.append(
+                    f"  {arm}: {stats['queries_per_sec']:.0f} q/s "
+                    f"(p50 {stats['p50_ms']:.2f} ms, "
+                    f"p99 {stats['p99_ms']:.2f} ms{extra})")
+            best = self.serving.get("best")
+            if isinstance(best, dict) and best:
+                lines.append(
+                    f"  best ANN: {best.get('arm')} "
+                    f"{best.get('speedup_over_exact', 0.0):.2f}x over exact "
+                    f"at recall@{k} {best.get('recall_at_k', 0.0):.3f}")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -209,6 +239,7 @@ class EngineBenchResults:
             "minibatch": self.minibatch,
             "optimizer": self.optimizer,
             "memory": self.memory,
+            "serving": self.serving,
         }
 
     def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
@@ -777,6 +808,218 @@ def run_memory_bench(
     return section
 
 
+def merge_serving_section(path: Path, preset: str,
+                          section: Dict[str, object]) -> Path:
+    """Write one preset's ``serving`` section into ``BENCH_engine.json``.
+
+    Unlike :meth:`EngineBenchResults.write_json` — which replaces a
+    preset's scalar fields (``epochs``, ``dataset``) wholesale — this
+    touches *only* ``presets[preset]["serving"]``, so a serving-only
+    re-bench never disturbs the committed training-sweep numbers.
+    """
+    path = Path(path)
+    payload: Dict[str, object] = {"presets": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if isinstance(existing.get("presets"), dict):
+            payload["presets"] = existing["presets"]
+    entry = payload["presets"].setdefault(preset, {"dataset": preset})
+    entry["serving"] = section
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+# Tuned ANN knobs per preset, found by sweeping (num_cells, nprobe) on
+# briefly trained large-preset embeddings: fewer cells than this miss
+# the 3x-over-exact floor, more probes than this pay candidate volume
+# for recall the gate does not need.  Presets not listed use the
+# sqrt(n)-cells defaults.
+_SERVING_TUNED = {"large": {"num_cells": 200, "nprobe": 6}}
+
+
+def _latency_stats(block_seconds: Sequence[float],
+                   num_queries: int) -> Dict[str, float]:
+    """qps + block-level latency percentiles from per-block wall times."""
+    seconds = np.asarray(block_seconds, dtype=np.float64)
+    total = float(seconds.sum())
+    return {
+        "queries_per_sec": num_queries / total if total > 0 else 0.0,
+        "p50_ms": float(np.percentile(seconds, 50) * 1e3),
+        "p99_ms": float(np.percentile(seconds, 99) * 1e3),
+        "total_seconds": total,
+    }
+
+
+def run_serving_bench(
+        preset: str = "medium",
+        k: int = 20,
+        block_size: int = 512,
+        num_queries: int = 4096,
+        train_epochs: int = 0,
+        embed_dim: int = 16,
+        num_layers: int = 2,
+        nprobe: int = 8,
+        num_cells: Optional[int] = None,
+        num_bits: int = 7,
+        repeats: int = 3,
+        seed: int = 0,
+        timing_only: Optional[bool] = None,
+        context: Optional[ExperimentContext] = None) -> Dict[str, object]:
+    """Sweep 8 — the online-serving A/B over one published snapshot.
+
+    One model's final embeddings are published through a
+    :class:`repro.serve.SnapshotStore`, reloaded memory-mapped, and
+    served through each retrieval mode.  Per arm the same ``num_queries``
+    users (drawn uniformly with ``seed``) stream through
+    ``recommend(block, k)`` in ``block_size`` blocks under an arena
+    step scope, best-of-``repeats`` per block; the section records
+    queries/sec, block p50/p99 latency, and — for the ANN arms — the
+    index build time, recall@k against the exact arm and the
+    exact-fallback row count.
+
+    ``train_epochs`` matters for the ANN arms: k-means cells (and LSH
+    buckets) only align with user preferences once training has pulled
+    co-consumed items together, so the recall floor at ``large`` is
+    benched on briefly trained embeddings — the serving-realistic
+    setting, since nobody snapshots an untrained model.  At ``xlarge``
+    the sweep is timing-only (untrained 1M-node embeddings, recall
+    recorded but not gated) and skips training.
+    """
+    from repro.data.sampling import build_eval_candidates
+    from repro.data.split import leave_last_out
+    from repro.data.synthetic import PRESETS
+    from repro.engine import arena
+    from repro.graph.hetero import CollaborativeHeteroGraph
+    from repro.serve import EmbeddingSnapshot, RecommendService, SnapshotStore
+    from repro.serve.service import topk_recall
+    from repro.train.config import TrainConfig
+
+    if timing_only is None:
+        timing_only = preset == "xlarge"
+    if preset == "xlarge":
+        dataset = PRESETS[preset](seed)
+        split = leave_last_out(dataset, max_test_users=2000, seed=seed)
+        graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+        model = create_model("lightgcn", graph, embed_dim=32, seed=seed,
+                             num_layers=num_layers)
+    else:
+        if context is None:
+            context = ExperimentContext.build(preset, seed=seed,
+                                              num_negatives=50)
+        split = context.split
+        graph = context.variant_graph()
+        get_cache().clear()
+        with use_backend("fast"):
+            model = create_model("lightgcn", graph, embed_dim=embed_dim,
+                                 seed=seed, num_layers=num_layers)
+            if train_epochs > 0:
+                config = default_train_config(
+                    epochs=train_epochs, batch_size=2048,
+                    batches_per_epoch=None, eval_every=max(train_epochs, 1),
+                    patience=None, seed=seed)
+                candidates = build_eval_candidates(split, num_negatives=50,
+                                                   seed=seed)
+                Trainer(model, split, config, candidates).fit()
+
+    section: Dict[str, object] = {
+        "k": int(k), "block_size": int(block_size),
+        "num_queries": int(num_queries), "train_epochs": int(train_epochs),
+        "timing_only": bool(timing_only),
+    }
+
+    start = time.perf_counter()
+    snapshot = EmbeddingSnapshot.from_model(model, split)
+    with tempfile.TemporaryDirectory(prefix="repro-servebench-") as tmpdir:
+        store = SnapshotStore(tmpdir)
+        version = store.publish(snapshot)
+        publish_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        served = store.load_latest()
+        load_seconds = time.perf_counter() - start
+        section["snapshot"] = {
+            "version": version,
+            "publish_seconds": publish_seconds,
+            "load_seconds": load_seconds,
+            "bytes": float(sum(a.nbytes for a in served.arrays().values())),
+            "dtype": served.user_emb.dtype.name,
+        }
+
+        rng = np.random.default_rng(seed)
+        queries = rng.integers(0, served.num_users, size=num_queries,
+                               dtype=np.int64)
+        blocks = [queries[s:s + block_size]
+                  for s in range(0, num_queries, block_size)]
+
+        arm_kwargs = {
+            "exact": {},
+            "ivf": {"nprobe": nprobe, "num_cells": num_cells},
+            "lsh": {"nprobe": nprobe, "num_bits": num_bits},
+        }
+        topk: Dict[str, np.ndarray] = {}
+        for arm, kwargs in arm_kwargs.items():
+            start = time.perf_counter()
+            service = RecommendService(served, retrieval=arm,
+                                       block_size=block_size, seed=seed,
+                                       **kwargs)
+            build_seconds = time.perf_counter() - start
+            service.recommend(blocks[0], k)  # warm-up: arena + page cache
+            block_seconds = []
+            results = []
+            with arena.step_scope():
+                for block in blocks:
+                    best = float("inf")
+                    for _ in range(max(1, repeats)):
+                        start = time.perf_counter()
+                        top = service.recommend(block, k)
+                        best = min(best, time.perf_counter() - start)
+                    block_seconds.append(best)
+                    results.append(top)
+            topk[arm] = np.concatenate(results)
+            stats = _latency_stats(block_seconds, num_queries)
+            stats["build_seconds"] = build_seconds
+            if arm == "ivf":
+                stats["num_cells"] = float(service.index.num_cells)
+                stats["nprobe"] = float(service.nprobe)
+            elif arm == "lsh":
+                stats["num_bits"] = float(num_bits)
+                stats["num_cells"] = float(service.index.num_cells)
+                stats["nprobe"] = float(service.nprobe)
+            if arm != "exact":
+                stats["fallback_rows"] = float(
+                    service.stats["fallback_rows"]
+                    / max(1, service.stats["users"]) * num_queries)
+                stats["recall_at_k"] = topk_recall(topk[arm], topk["exact"])
+                exact_qps = section["exact"]["queries_per_sec"]
+                stats["speedup_over_exact"] = (
+                    stats["queries_per_sec"] / exact_qps
+                    if exact_qps > 0 else float("inf"))
+            section[arm] = stats
+
+    candidates_best = [
+        (name, section[name]) for name in ("ivf", "lsh")
+        if isinstance(section.get(name), dict)]
+    if candidates_best:
+        # Best = fastest among arms that hold the recall floor; if none
+        # does, the highest-recall arm (so the gate fails on recall, not
+        # on a vacuous speedup).
+        holding = [(n, s) for n, s in candidates_best
+                   if s.get("recall_at_k", 0.0) >= 0.95]
+        pool = holding or candidates_best
+        name, stats = max(pool, key=lambda pair: (
+            pair[1].get("speedup_over_exact", 0.0)
+            if holding else pair[1].get("recall_at_k", 0.0)))
+        section["best"] = {
+            "arm": name,
+            "speedup_over_exact": stats.get("speedup_over_exact", 0.0),
+            "recall_at_k": stats.get("recall_at_k", 0.0),
+        }
+    section["peak_rss_mb"] = _peak_rss_mb()
+    return section
+
+
 def run_engine_suite(
         preset: str = "medium",
         epochs: int = 2,
@@ -789,6 +1032,8 @@ def run_engine_suite(
         minibatch_fanouts: Sequence[int] = (5, 10, 20),
         dtype: str = PRODUCTION_DTYPE,
         memory: Optional[bool] = None,
+        serving: bool = True,
+        serving_train_epochs: Optional[int] = None,
         output_path: Optional[Path] = None) -> EngineBenchResults:
     """All engine sweeps on one shared context; optionally persisted.
 
@@ -796,17 +1041,26 @@ def run_engine_suite(
     default, the recorded production configuration.  ``memory`` controls
     sweep 7 (subprocess peak-RSS arms); default: on for the ``large``
     and ``xlarge`` presets only, since the A/B needs an array footprint
-    that dwarfs the interpreter baseline to be meaningful.
+    that dwarfs the interpreter baseline to be meaningful.  ``serving``
+    controls sweep 8; ``serving_train_epochs`` defaults to a brief
+    training run at ``large`` (ANN recall needs trained structure) and
+    none at the smoke presets.
     """
     if memory is None:
         memory = preset in ("large", "xlarge")
+    if serving_train_epochs is None:
+        serving_train_epochs = 6 if preset == "large" else 0
     if preset == "xlarge":
-        # The 1M+ node preset exists for the memory leg alone; the
-        # in-process sweeps would take hours at that scale.
+        # The 1M+ node preset exists for the memory and serving legs
+        # alone; the in-process sweeps would take hours at that scale.
         results = EngineBenchResults(dataset_name="xlarge", epochs=epochs,
                                      production_dtype=dtype)
         results.memory = run_memory_bench(preset=preset, epochs=epochs,
                                           seed=seed)
+        if serving:
+            with use_dtype(dtype):
+                results.serving = run_serving_bench(
+                    preset=preset, num_queries=1024, seed=seed)
         if output_path is not None:
             results.write_json(Path(output_path), preset=preset)
         return results
@@ -832,6 +1086,11 @@ def run_engine_suite(
             fanouts=minibatch_fanouts, seed=seed, context=context)
         results.optimizer = run_optimizer_bench(
             preset=preset, epochs=epochs, seed=seed, context=context)
+        if serving:
+            results.serving = run_serving_bench(
+                preset=preset, train_epochs=serving_train_epochs,
+                embed_dim=embed_dim, num_layers=num_layers, seed=seed,
+                context=context, **_SERVING_TUNED.get(preset, {}))
     if memory:
         results.memory = run_memory_bench(preset=preset, seed=seed)
     if output_path is not None:

@@ -44,6 +44,7 @@ import scipy.sparse as sp
 from repro.data.dataset import InteractionDataset
 from repro.engine.adjcache import cached_transpose
 from repro.engine.precision import as_index_array, index_dtype_for
+from repro.engine.ragged import gather_ragged_rows
 from repro.graph.hetero import CollaborativeHeteroGraph
 
 _EMPTY = np.zeros(0, dtype=np.int64)
@@ -77,17 +78,12 @@ def _ragged_gather(indptr: np.ndarray, nodes: np.ndarray
                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Positions of every CSR entry owned by ``nodes``, plus row layout.
 
-    Returns ``(positions, counts, offsets)`` where ``positions`` indexes
-    into the CSR ``indices``/``data`` arrays, ``counts[i]`` is node i's
-    degree and ``offsets[i]`` is its first slot in the gathered layout.
+    Thin wrapper over the shared :func:`gather_ragged_rows` helper
+    (also used by the full-ranking and serving train-item masks),
+    keeping this module's historical tuple return shape.
     """
-    counts = indptr[nodes + 1] - indptr[nodes]
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    total = int(counts.sum())
-    positions = (np.arange(total, dtype=np.int64)
-                 - np.repeat(offsets, counts)
-                 + np.repeat(indptr[nodes].astype(np.int64), counts))
-    return positions, counts, offsets
+    gathered = gather_ragged_rows(indptr, nodes)
+    return gathered.positions, gathered.counts, gathered.offsets
 
 
 def _sorted_unique(values: np.ndarray, domain: int) -> np.ndarray:

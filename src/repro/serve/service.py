@@ -1,0 +1,380 @@
+"""Batched recommendation serving over an :class:`EmbeddingSnapshot`.
+
+:class:`RecommendService` is the request-path counterpart of
+:func:`repro.eval.full_ranking.full_ranking_topk`: the same score
+blocks, train-item masking and :func:`top_k_indices` selection, wired
+for online use —
+
+* requests are coalesced into ``block_size``-user score blocks whose
+  buffers come from the engine arena (open an
+  ``arena.step_scope()`` around a burst of calls to recycle them);
+* ``retrieval="ivf"`` / ``"lsh"`` swap the full ``(b, num_items)``
+  GEMM for per-cell GEMMs over the probed cells of a
+  :class:`repro.serve.ann.CoarseIndex` — sublinear in the catalogue
+  size, with an automatic exact fallback for any user whose probed
+  cells yield fewer than ``k`` unmasked candidates;
+* users with social edges but no train interactions are auto-detected
+  from the snapshot CSRs and routed through the cold-start path
+  (:func:`repro.models.coldstart.embed_cold_user` when the live model
+  is attached, a snapshot-only social-mean approximation otherwise);
+* :meth:`RecommendService.swap` atomically replaces the snapshot (and
+  rebuilds the index) under a lock while in-flight requests keep
+  serving the version they started with.
+
+In ``"exact"`` mode the results are *bitwise identical* to
+``full_ranking_topk`` on the live model for the same ``block_size`` —
+the snapshot stores the embeddings uncast, the mask content is the
+same CSR, and ties break identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.engine import arena
+from repro.engine.ragged import gather_ragged_rows
+from repro.eval.metrics import top_k_indices
+from repro.serve.ann import CoarseIndex, build_ivf_index, build_lsh_index
+from repro.serve.snapshot import EmbeddingSnapshot
+
+RETRIEVAL_MODES = ("exact", "ivf", "lsh")
+
+
+def cold_user_embedding(snapshot: EmbeddingSnapshot,
+                        friend_ids: Sequence[int]) -> np.ndarray:
+    """Snapshot-only cold-user vector: the friends' final-embedding mean.
+
+    The model-attached path (:func:`repro.models.coldstart.embed_cold_user`)
+    re-runs the trained propagation operators and is exact; this
+    fallback needs nothing but the snapshot.  When the snapshot was
+    taken from a τ-recalibrated model the friends' final embeddings
+    already include their own τ (which doubles their pre-τ state), so
+    the mean is scaled by 1.5 to approximate ``state + τ/2`` — a
+    zeroth-order stand-in for the real recalibration.
+    """
+    friend_ids = np.asarray(list(friend_ids), dtype=np.int64)
+    if friend_ids.size == 0:
+        raise ValueError("cold-start user needs at least one social tie")
+    if friend_ids.min() < 0 or friend_ids.max() >= snapshot.num_users:
+        raise ValueError("friend id out of range")
+    vector = np.asarray(snapshot.user_emb[friend_ids]).mean(axis=0)
+    if snapshot.meta.get("tau"):
+        vector = vector * np.asarray(1.5, dtype=vector.dtype)
+    return vector.astype(snapshot.user_emb.dtype, copy=False)
+
+
+def topk_recall(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Mean fraction of each exact top-k recovered by the approx top-k."""
+    approx = np.asarray(approx, dtype=np.int64)
+    exact = np.asarray(exact, dtype=np.int64)
+    if approx.shape != exact.shape:
+        raise ValueError(f"shape mismatch: {approx.shape} vs {exact.shape}")
+    if exact.size == 0:
+        return 1.0
+    # Offset each row into a disjoint key range so one global
+    # searchsorted answers every row's membership test.
+    span = int(max(approx.max(), exact.max())) + 1
+    offsets = np.arange(exact.shape[0], dtype=np.int64)[:, None] * span
+    exact_keys = np.sort(exact + offsets, axis=1).ravel()
+    approx_keys = (approx + offsets).ravel()
+    pos = np.clip(np.searchsorted(exact_keys, approx_keys), 0,
+                  exact_keys.size - 1)
+    hits = (exact_keys[pos] == approx_keys) & (approx.ravel() >= 0)
+    return float(hits.sum() / exact.size)
+
+
+class _ServingState(NamedTuple):
+    """Everything one request reads, swapped as a unit."""
+
+    snapshot: EmbeddingSnapshot
+    index: Optional[CoarseIndex]
+    train_keys: np.ndarray          # sorted user*num_items+item pair keys
+
+
+class RecommendService:
+    """Batched top-k recommendations from a published snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        The :class:`EmbeddingSnapshot` to serve (typically
+        ``store.load_latest()``).
+    retrieval:
+        ``"exact"`` (score every item), ``"ivf"`` or ``"lsh"``.
+    block_size:
+        Users scored per block; bounds the score-buffer memory and is
+        the coalescing unit for batched requests.
+    nprobe:
+        Cells probed per user in ANN modes.
+    num_cells / num_bits:
+        Index-build knobs forwarded to :func:`build_ivf_index` /
+        :func:`build_lsh_index` (``num_cells=None`` → ``≈ sqrt(n)``).
+    mask_train:
+        Exclude each user's train items from results (standard).
+    model:
+        Optional live model for the exact cold-start path
+        (:func:`repro.models.coldstart.embed_cold_user`); without it
+        cold users fall back to :func:`cold_user_embedding`.
+    cold_dispatch:
+        Auto-route users with social ties but no train interactions
+        through the cold path.  Disable to score everyone against the
+        snapshot's user embeddings regardless.
+    """
+
+    def __init__(self, snapshot: EmbeddingSnapshot, retrieval: str = "exact",
+                 block_size: int = 256, nprobe: int = 8,
+                 num_cells: Optional[int] = None, num_bits: int = 10,
+                 mask_train: bool = True, model=None,
+                 cold_dispatch: bool = True, seed: int = 0):
+        if retrieval not in RETRIEVAL_MODES:
+            raise ValueError(f"retrieval must be one of {RETRIEVAL_MODES}, "
+                             f"got {retrieval!r}")
+        self.retrieval = retrieval
+        self.block_size = int(block_size)
+        self.nprobe = int(nprobe)
+        self.num_cells = num_cells
+        self.num_bits = int(num_bits)
+        self.mask_train = bool(mask_train)
+        self.model = model
+        self.cold_dispatch = bool(cold_dispatch)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {"requests": 0, "users": 0,
+                                      "cold_users": 0, "fallback_rows": 0,
+                                      "swaps": 0}
+        self._state = self._build_state(snapshot)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def snapshot(self) -> EmbeddingSnapshot:
+        return self._state.snapshot
+
+    @property
+    def index(self) -> Optional[CoarseIndex]:
+        return self._state.index
+
+    def _build_state(self, snapshot: EmbeddingSnapshot) -> _ServingState:
+        item_emb = np.asarray(snapshot.item_emb)
+        if self.retrieval == "ivf":
+            index = build_ivf_index(item_emb, num_cells=self.num_cells,
+                                    seed=self.seed)
+        elif self.retrieval == "lsh":
+            index = build_lsh_index(item_emb, num_bits=self.num_bits,
+                                    seed=self.seed)
+        else:
+            index = None
+        # Global (user, item) pair keys of the train CSR.  Rows ascend
+        # and indices are sorted within each row, so the keys come out
+        # globally sorted — searchsorted membership, no extra sort.
+        counts = np.diff(snapshot.train_indptr).astype(np.int64)
+        owners = np.repeat(np.arange(snapshot.num_users, dtype=np.int64),
+                           counts)
+        train_keys = (owners * snapshot.num_items
+                      + snapshot.train_indices.astype(np.int64))
+        return _ServingState(snapshot=snapshot, index=index,
+                             train_keys=train_keys)
+
+    def swap(self, snapshot: EmbeddingSnapshot) -> None:
+        """Atomically switch to ``snapshot`` (rebuilds the ANN index).
+
+        In-flight ``recommend`` calls finish on the state they captured
+        at entry; calls that start after ``swap`` returns see only the
+        new snapshot.
+        """
+        state = self._build_state(snapshot)
+        with self._lock:
+            self._state = state
+            self.stats["swaps"] += 1
+
+    def refresh(self, store) -> bool:
+        """Swap to ``store.load_latest()`` if it is a newer version."""
+        latest = store.latest_version()
+        if latest is None or latest == self._state.snapshot.version:
+            return False
+        self.swap(store.load(latest))
+        return True
+
+    # -- request path --------------------------------------------------
+    def recommend(self, user_ids: Sequence[int], k: int = 10) -> np.ndarray:
+        """Top-``k`` item ids per user, ``(len(user_ids), k)``, best first.
+
+        Warm users are scored in ``block_size`` blocks through the
+        configured retrieval mode; cold users (social ties, no train
+        interactions) are embedded via the cold path and exact-scored.
+        """
+        state = self._state
+        snapshot = state.snapshot
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        if user_ids.ndim != 1:
+            raise ValueError("user_ids must be 1-D")
+        if user_ids.size and (user_ids.min() < 0
+                              or user_ids.max() >= snapshot.num_users):
+            raise ValueError("user id out of range")
+        k = min(int(k), snapshot.num_items)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        results = np.empty((len(user_ids), k), dtype=np.int64)
+        if len(user_ids) == 0:
+            return results
+        self.stats["requests"] += 1
+        self.stats["users"] += len(user_ids)
+
+        if self.cold_dispatch:
+            cold = snapshot.cold_user_mask(user_ids)
+        else:
+            cold = np.zeros(len(user_ids), dtype=bool)
+        warm_pos = np.flatnonzero(~cold)
+        cold_pos = np.flatnonzero(cold)
+
+        for start in range(0, len(warm_pos), self.block_size):
+            block_pos = warm_pos[start:start + self.block_size]
+            block_users = user_ids[block_pos]
+            if state.index is None:
+                block_top = self._recommend_exact(state, block_users, k)
+            else:
+                block_top = self._recommend_ann(state, block_users, k)
+            results[block_pos] = block_top
+        if cold_pos.size:
+            self.stats["cold_users"] += int(cold_pos.size)
+            results[cold_pos] = self._recommend_cold(state,
+                                                     user_ids[cold_pos], k)
+        return results
+
+    def recommend_cold_user(self, friend_ids: Sequence[int],
+                            k: int = 10) -> np.ndarray:
+        """Top-``k`` for a brand-new user known only through friends.
+
+        With the live model attached this matches
+        :func:`repro.models.coldstart.recommend_cold_user` bitwise
+        (same embedding, same items, same tie-breaking); without it
+        the snapshot-only social-mean vector is used.
+        """
+        state = self._state
+        vector = self._cold_vector(state, friend_ids)
+        scores = np.asarray(state.snapshot.item_emb) @ vector
+        k = min(int(k), state.snapshot.num_items)
+        return top_k_indices(scores, k)
+
+    # -- scoring paths -------------------------------------------------
+    def _recommend_exact(self, state: _ServingState, block_users: np.ndarray,
+                         k: int, mask_override: Optional[bool] = None
+                         ) -> np.ndarray:
+        snapshot = state.snapshot
+        scores = arena.empty((len(block_users), snapshot.num_items),
+                             snapshot.user_emb.dtype)
+        np.matmul(snapshot.user_emb[block_users], snapshot.item_emb.T,
+                  out=scores)
+        mask = self.mask_train if mask_override is None else mask_override
+        if mask:
+            gathered = gather_ragged_rows(snapshot.train_indptr, block_users)
+            scores[gathered.owners(),
+                   snapshot.train_indices[gathered.positions]] = -np.inf
+        top = top_k_indices(scores, k)
+        arena.release(scores)
+        return top
+
+    def _recommend_ann(self, state: _ServingState, block_users: np.ndarray,
+                       k: int) -> np.ndarray:
+        snapshot, index = state.snapshot, state.index
+        b = len(block_users)
+        user_block = np.ascontiguousarray(snapshot.user_emb[block_users])
+        probes = index.probe(user_block, self.nprobe)        # (b, nprobe)
+        nprobe = probes.shape[1]
+        indptr = index.indptr
+        sizes = np.where(probes >= 0,
+                         np.diff(indptr)[np.clip(probes, 0, None)], 0)
+        max_len = int(sizes.max()) if sizes.size else 0
+        if max_len == 0:
+            self.stats["fallback_rows"] += b
+            return self._recommend_exact(state, block_users, k)
+
+        dtype = snapshot.user_emb.dtype
+        cand_scores = arena.empty((b, nprobe, max_len), dtype)
+        cand_scores[...] = -np.inf
+        cand_ids = arena.empty((b, nprobe, max_len), np.int64)
+        cand_ids[...] = -1
+
+        # Group (user, probe-slot) pairs by probed cell so each cell is
+        # one contiguous-slice GEMM over every user that probes it.
+        flat_cells = probes.ravel()
+        valid = flat_cells >= 0
+        pair_rows = np.repeat(np.arange(b), nprobe)[valid]
+        pair_slots = np.tile(np.arange(nprobe), b)[valid]
+        cells, inverse = np.unique(flat_cells[valid], return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        counts = np.bincount(inverse, minlength=len(cells))
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        for ci in range(len(cells)):
+            members = order[starts[ci]:starts[ci + 1]]
+            lo, hi = int(indptr[cells[ci]]), int(indptr[cells[ci] + 1])
+            if hi == lo:
+                continue
+            rows = pair_rows[members]
+            seg_scores = user_block[rows] @ index.grouped_emb[lo:hi].T
+            cand_scores[rows, pair_slots[members], :hi - lo] = seg_scores
+            cand_ids[rows, pair_slots[members], :hi - lo] = \
+                index.grouped_ids[lo:hi]
+
+        flat_scores = cand_scores.reshape(b, nprobe * max_len)
+        flat_ids = cand_ids.reshape(b, nprobe * max_len)
+        if flat_scores.shape[1] < k:
+            # Probed cells cannot even hold k candidates (thin buckets):
+            # the whole block goes exact.
+            arena.release(cand_scores)
+            arena.release(cand_ids)
+            self.stats["fallback_rows"] += b
+            return self._recommend_exact(state, block_users, k)
+        if self.mask_train and state.train_keys.size:
+            keys = block_users[:, None] * snapshot.num_items + flat_ids
+            pos = np.clip(np.searchsorted(state.train_keys, keys), 0,
+                          state.train_keys.size - 1)
+            is_train = (state.train_keys[pos] == keys) & (flat_ids >= 0)
+            flat_scores[is_train] = -np.inf
+
+        top = top_k_indices(flat_scores, k)
+        top_ids = np.take_along_axis(flat_ids, top, axis=-1)
+        top_scores = np.take_along_axis(flat_scores, top, axis=-1)
+        arena.release(cand_scores)
+        arena.release(cand_ids)
+
+        # A -inf (or id -1) in the selection means the probed cells held
+        # fewer than k unmasked candidates — rescore those rows exactly.
+        short = ~np.isfinite(top_scores).all(axis=-1)
+        if short.any():
+            self.stats["fallback_rows"] += int(short.sum())
+            top_ids[short] = self._recommend_exact(state, block_users[short],
+                                                   k)
+        return top_ids
+
+    # -- cold path -----------------------------------------------------
+    def _cold_vector(self, state: _ServingState,
+                     friend_ids: Sequence[int]) -> np.ndarray:
+        if self.model is not None:
+            from repro.models.coldstart import embed_cold_user
+
+            return embed_cold_user(self.model, friend_ids)
+        return cold_user_embedding(state.snapshot, friend_ids)
+
+    def _recommend_cold(self, state: _ServingState, cold_users: np.ndarray,
+                        k: int) -> np.ndarray:
+        """Cold users: embed from friends, exact-score, no train mask.
+
+        Always exact — an ANN index probed with an out-of-distribution
+        social-mean vector is the worst case for recall, and cold users
+        are rare enough that the full GEMM is cheap.
+        """
+        snapshot = state.snapshot
+        vectors = np.stack([
+            self._cold_vector(state, snapshot.social_row(user))
+            for user in cold_users])
+        scores = vectors @ np.asarray(snapshot.item_emb).T
+        return top_k_indices(scores, k)
+
+    def __repr__(self) -> str:
+        state = self._state
+        return (f"RecommendService(retrieval={self.retrieval!r}, "
+                f"snapshot={state.snapshot.version!r}, "
+                f"block_size={self.block_size}, stats={self.stats})")

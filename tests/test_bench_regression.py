@@ -173,3 +173,80 @@ def test_compare_skips_empty_memory_section():
     fresh = json.loads(json.dumps(baseline))
     fresh["presets"]["large"]["memory"] = {}
     assert check_regression.compare(baseline, fresh) == []
+
+
+def _baseline_with_serving(speedup=4.0, recall=0.97, preset="large",
+                           timing_only=False):
+    return {"presets": {preset: {
+        "backends": {"fast": {"epochs_per_sec": 100.0}},
+        "serving": {
+            "k": 20,
+            "timing_only": timing_only,
+            "exact": {"queries_per_sec": 8000.0},
+            "ivf": {"queries_per_sec": 8000.0 * speedup,
+                    "speedup_over_exact": speedup,
+                    "recall_at_k": recall},
+            "best": {"arm": "ivf", "speedup_over_exact": speedup,
+                     "recall_at_k": recall},
+        },
+    }}}
+
+
+def test_compare_flags_serving_throughput_regression():
+    baseline = _baseline_with_serving()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["serving"]["exact"][
+        "queries_per_sec"] = 4000.0
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("serving/exact" in p for p in problems)
+
+
+def test_compare_enforces_serving_speedup_floor_on_large():
+    problems = check_regression.compare(_baseline_with_serving(speedup=4.0),
+                                        _baseline_with_serving(speedup=2.0))
+    assert problems and any("speedup_over_exact" in p and "floor" in p
+                            for p in problems)
+    # The floor binds the committed baseline too.
+    problems = check_regression.compare(_baseline_with_serving(speedup=2.0),
+                                        _baseline_with_serving(speedup=4.0))
+    assert problems and any("baseline" in p for p in problems)
+
+
+def test_compare_enforces_serving_recall_floor_on_large():
+    problems = check_regression.compare(_baseline_with_serving(recall=0.97),
+                                        _baseline_with_serving(recall=0.90))
+    assert problems and any("recall_at_k" in p and "floor" in p
+                            for p in problems)
+
+
+def test_compare_serving_floor_skips_timing_only_sections():
+    weak = _baseline_with_serving(speedup=1.0, recall=0.1, timing_only=True)
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_serving_floor_only_applies_to_large():
+    weak = _baseline_with_serving(speedup=1.0, recall=0.5, preset="tiny")
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_reports_missing_best_summary():
+    baseline = _baseline_with_serving()
+    fresh = json.loads(json.dumps(baseline))
+    del fresh["presets"]["large"]["serving"]["best"]
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("no 'best' ANN summary" in p for p in problems)
+
+
+def test_compare_reports_missing_serving_section():
+    baseline = _baseline_with_serving()
+    fresh = {"presets": {"large": {
+        "backends": {"fast": {"epochs_per_sec": 100.0}}}}}
+    problems = check_regression.compare(baseline, fresh)
+    assert any("expected section 'serving' is missing" in p for p in problems)
+
+
+def test_compare_skips_empty_serving_section():
+    baseline = _baseline_with_serving()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["serving"] = {}
+    assert check_regression.compare(baseline, fresh) == []

@@ -1,0 +1,86 @@
+"""The shared ragged-CSR gather (`repro.engine.ragged`)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.ragged import RaggedRows, gather_ragged_rows
+
+
+def _loop_gather(indptr, rows):
+    positions, counts, offsets = [], [], []
+    total = 0
+    for row in rows:
+        lo, hi = int(indptr[row]), int(indptr[row + 1])
+        positions.extend(range(lo, hi))
+        counts.append(hi - lo)
+        offsets.append(total)
+        total += hi - lo
+    return (np.asarray(positions, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64))
+
+
+@pytest.fixture
+def csr():
+    rng = np.random.default_rng(7)
+    num_rows, num_cols = 40, 25
+    dense = rng.random((num_rows, num_cols)) < 0.15
+    indptr = np.concatenate(([0], np.cumsum(dense.sum(axis=1)))).astype(np.int64)
+    indices = np.concatenate([np.flatnonzero(r) for r in dense]).astype(np.int64)
+    return indptr, indices
+
+
+def test_matches_loop_oracle(csr):
+    indptr, _ = csr
+    rng = np.random.default_rng(3)
+    rows = rng.integers(0, len(indptr) - 1, size=17)
+    gathered = gather_ragged_rows(indptr, rows)
+    positions, counts, offsets = _loop_gather(indptr, rows)
+    np.testing.assert_array_equal(gathered.positions, positions)
+    np.testing.assert_array_equal(gathered.counts, counts)
+    np.testing.assert_array_equal(gathered.offsets, offsets)
+
+
+def test_duplicate_and_empty_rows(csr):
+    indptr, _ = csr
+    empty_row = int(np.flatnonzero(np.diff(indptr) == 0)[0]) \
+        if (np.diff(indptr) == 0).any() else None
+    rows = np.array([0, 0, len(indptr) - 2])
+    if empty_row is not None:
+        rows = np.append(rows, empty_row)
+    gathered = gather_ragged_rows(indptr, rows)
+    positions, counts, offsets = _loop_gather(indptr, rows)
+    np.testing.assert_array_equal(gathered.positions, positions)
+    np.testing.assert_array_equal(gathered.counts, counts)
+    np.testing.assert_array_equal(gathered.offsets, offsets)
+
+
+def test_zero_rows():
+    indptr = np.array([0, 2, 5], dtype=np.int64)
+    gathered = gather_ragged_rows(indptr, np.array([], dtype=np.int64))
+    assert gathered.total == 0
+    assert gathered.positions.size == 0
+    assert gathered.counts.size == 0
+    assert gathered.offsets.size == 0
+    assert gathered.owners().size == 0
+
+
+def test_owners_repeat_row_positions():
+    indptr = np.array([0, 3, 3, 7], dtype=np.int64)
+    gathered = gather_ragged_rows(indptr, np.array([2, 0, 1]))
+    np.testing.assert_array_equal(gathered.owners(),
+                                  [0, 0, 0, 0, 1, 1, 1])
+    assert isinstance(gathered, RaggedRows)
+    assert gathered.total == 7
+
+
+def test_sampling_wrapper_matches_shared_gather():
+    from repro.graph.sampling import _ragged_gather
+
+    indptr = np.array([0, 2, 2, 6, 9], dtype=np.int64)
+    rows = np.array([3, 0, 2])
+    positions, counts, offsets = _ragged_gather(indptr, rows)
+    gathered = gather_ragged_rows(indptr, rows)
+    np.testing.assert_array_equal(positions, gathered.positions)
+    np.testing.assert_array_equal(counts, gathered.counts)
+    np.testing.assert_array_equal(offsets, gathered.offsets)

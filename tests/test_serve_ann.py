@@ -1,0 +1,129 @@
+"""ANN coarse indexes: partition correctness, probing, recall sanity."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import top_k_indices
+from repro.serve.ann import build_ivf_index, build_lsh_index, _pack_codes
+
+
+@pytest.fixture(scope="module")
+def item_emb():
+    rng = np.random.default_rng(11)
+    # Clustered embeddings — the geometry IVF exploits.
+    centers = rng.standard_normal((12, 8)) * 3.0
+    members = centers[rng.integers(0, 12, size=500)]
+    return (members + rng.standard_normal((500, 8)) * 0.4).astype(np.float64)
+
+
+class TestIvf:
+    def test_cells_partition_items(self, item_emb):
+        index = build_ivf_index(item_emb, num_cells=20, seed=0)
+        assert index.kind == "ivf"
+        assert index.num_items == len(item_emb)
+        np.testing.assert_array_equal(np.sort(index.grouped_ids),
+                                      np.arange(len(item_emb)))
+        assert index.indptr[0] == 0
+        assert index.indptr[-1] == len(item_emb)
+        np.testing.assert_array_equal(np.diff(index.indptr),
+                                      index.cell_sizes())
+
+    def test_grouped_embeddings_match_items(self, item_emb):
+        index = build_ivf_index(item_emb, num_cells=20, seed=0)
+        np.testing.assert_array_equal(index.grouped_emb,
+                                      item_emb[index.grouped_ids])
+        assert index.grouped_emb.flags["C_CONTIGUOUS"]
+
+    def test_build_deterministic(self, item_emb):
+        a = build_ivf_index(item_emb, num_cells=16, seed=3)
+        b = build_ivf_index(item_emb, num_cells=16, seed=3)
+        np.testing.assert_array_equal(a.grouped_ids, b.grouped_ids)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_no_empty_cells_on_clustered_data(self, item_emb):
+        index = build_ivf_index(item_emb, num_cells=10, seed=0)
+        assert (index.cell_sizes() > 0).all()
+
+    def test_default_num_cells_sqrt(self, item_emb):
+        index = build_ivf_index(item_emb, seed=0)
+        assert index.num_cells == int(round(np.sqrt(len(item_emb))))
+
+    def test_probe_shape_and_range(self, item_emb):
+        index = build_ivf_index(item_emb, num_cells=20, seed=0)
+        rng = np.random.default_rng(0)
+        queries = rng.standard_normal((7, item_emb.shape[1]))
+        cells = index.probe(queries, nprobe=5)
+        assert cells.shape == (7, 5)
+        assert (cells >= 0).all() and (cells < index.num_cells).all()
+        # Probed cells are distinct per query.
+        for row in cells:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_probe_all_cells_recovers_exact_topk(self, item_emb):
+        index = build_ivf_index(item_emb, num_cells=8, seed=0)
+        rng = np.random.default_rng(1)
+        query = rng.standard_normal(item_emb.shape[1])
+        exact = top_k_indices(item_emb @ query, 10)
+        cells = index.probe(query, nprobe=index.num_cells)[0]
+        candidates = np.concatenate([
+            index.grouped_ids[index.indptr[c]:index.indptr[c + 1]]
+            for c in cells])
+        scores = item_emb[candidates] @ query
+        approx = candidates[top_k_indices(scores, 10)]
+        np.testing.assert_array_equal(np.sort(approx), np.sort(exact))
+
+    def test_clustered_recall_beats_random_baseline(self, item_emb):
+        index = build_ivf_index(item_emb, num_cells=12, seed=0)
+        rng = np.random.default_rng(2)
+        # Query near a cluster center: its neighbours share the cell.
+        query = item_emb[17]
+        exact = set(top_k_indices(item_emb @ query, 10).tolist())
+        cells = index.probe(query, nprobe=3)[0]
+        probed = set()
+        for c in cells:
+            probed.update(index.grouped_ids[index.indptr[c]:
+                                            index.indptr[c + 1]].tolist())
+        recall = len(exact & probed) / len(exact)
+        assert recall >= 0.8
+
+
+class TestLsh:
+    def test_cells_partition_items(self, item_emb):
+        index = build_lsh_index(item_emb, num_bits=6, seed=0)
+        assert index.kind == "lsh"
+        np.testing.assert_array_equal(np.sort(index.grouped_ids),
+                                      np.arange(len(item_emb)))
+        assert index.num_cells == len(index.bucket_codes)
+        assert (np.diff(index.bucket_codes) > 0).all()  # sorted, unique
+
+    def test_bucket_members_share_code(self, item_emb):
+        index = build_lsh_index(item_emb, num_bits=6, seed=0)
+        codes = _pack_codes((item_emb @ index.planes.T) >= 0.0)
+        for cell in range(index.num_cells):
+            ids = index.grouped_ids[index.indptr[cell]:index.indptr[cell + 1]]
+            assert (codes[ids] == index.bucket_codes[cell]).all()
+
+    def test_probe_own_bucket_first(self, item_emb):
+        index = build_lsh_index(item_emb, num_bits=6, seed=0)
+        cells = index.probe(item_emb[:20], nprobe=1)
+        codes = _pack_codes((item_emb[:20] @ index.planes.T) >= 0.0)
+        for row, code in zip(cells, codes):
+            assert index.bucket_codes[row[0]] == code
+
+    def test_multiprobe_flips_low_margin_bits(self, item_emb):
+        index = build_lsh_index(item_emb, num_bits=6, seed=0)
+        query = item_emb[3]
+        cells = index.probe(query, nprobe=4)[0]
+        # Probes map to existing buckets or -1 (empty bucket), never junk.
+        assert (cells < index.num_cells).all()
+        assert (cells >= -1).all()
+
+    def test_too_many_bits_rejected(self, item_emb):
+        with pytest.raises(ValueError, match="int64"):
+            build_lsh_index(item_emb, num_bits=64)
+
+    def test_build_deterministic(self, item_emb):
+        a = build_lsh_index(item_emb, num_bits=7, seed=5)
+        b = build_lsh_index(item_emb, num_bits=7, seed=5)
+        np.testing.assert_array_equal(a.grouped_ids, b.grouped_ids)
+        np.testing.assert_array_equal(a.bucket_codes, b.bucket_codes)
