@@ -68,11 +68,32 @@ _SERVING_FLOORS = {"large": {"speedup_over_exact": 3.0, "recall_at_k": 0.95}}
 # artifact and any fresh re-bench that runs the sweep, alongside the
 # training-loss-trajectory parity flag the sweep records.
 _MEMORY_RSS_FLOORS = {"large": 0.30}
+# Parallel-training section (sweep 9) per-arm metric: epoch rate of
+# each (mode, worker-count) arm and the single-process reference.
+_PARALLEL_MODES = ("hogwild", "sync")
+_PARALLEL_KEYS = ("epochs_per_sec",)
+# Hard floors on the sweep-9 shared-memory claims at these presets.
+# ``pss_growth_at_max_workers`` — fleet-wide peak PSS at the top worker
+# count over the 1-worker arm — must stay at or below the cap: with the
+# embedding tables and optimizer state in shared memory the fleet holds
+# ONE table copy, so total PSS grows far slower than the worker count
+# (a copy-everything fleet at 4 workers measures ~3.5-4x).  The cap
+# leaves room for each worker's private compute temporaries — subgraph
+# closures and autograd tape — which no sharing scheme can eliminate.
+# Binds everywhere.
+# ``best_speedup_at_max_workers`` must reach the floor in at least one
+# update mode, but only when the recording host had at least
+# ``min_host_cpus`` usable cores — a wall-clock speedup is physically
+# impossible on a single-core host, so there the number is recorded as
+# context (like the thread sweep) and the floor is skipped.
+_PARALLEL_FLOORS = {
+    "large": {"pss_growth_max": 2.5, "speedup_min": 2.0, "min_host_cpus": 4},
+}
 # Per-preset sections the artifact is built from; used to report a
 # *missing* section (key absent) distinctly from one that was not run
 # (present but empty), which is normal for partial smoke refreshes.
 _SECTIONS = ("backends", "memory_kernel", "dtype_sweep", "thread_sweep",
-             "minibatch", "optimizer", "memory", "serving")
+             "minibatch", "optimizer", "memory", "serving", "parallel")
 
 
 def _presets(payload: Dict) -> Dict[str, Dict]:
@@ -234,6 +255,65 @@ def compare(baseline: Dict, fresh: Dict,
                     f"diverged from the oracle beyond float32 tolerances "
                     f"(max_rel_loss_diff="
                     f"{memory.get('max_rel_loss_diff', float('nan')):.3g})")
+        base_parallel = base_presets[preset].get("parallel", {})
+        fresh_parallel = fresh_presets[preset].get("parallel", {})
+        for mode in _PARALLEL_MODES + ("single_process",):
+            base_mode = (base_parallel.get(mode) if mode != "single_process"
+                         else {"workers_0": base_parallel.get(mode)})
+            fresh_mode = (fresh_parallel.get(mode) if mode != "single_process"
+                          else {"workers_0": fresh_parallel.get(mode)})
+            if not isinstance(base_mode, dict) or not isinstance(fresh_mode, dict):
+                continue
+            for arm in sorted(set(base_mode) & set(fresh_mode)):
+                base_stats = base_mode[arm]
+                fresh_stats = fresh_mode[arm]
+                if not isinstance(base_stats, dict) or not isinstance(fresh_stats, dict):
+                    continue
+                for key in _PARALLEL_KEYS:
+                    old = base_stats.get(key)
+                    new = fresh_stats.get(key)
+                    if not old or new is None:
+                        continue
+                    drop = (old - new) / old
+                    if drop > threshold:
+                        problems.append(
+                            f"{preset}/parallel/{mode}/{arm}: {key} regressed "
+                            f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+        parallel_floors = _PARALLEL_FLOORS.get(preset)
+        if parallel_floors is not None:
+            for label, parallel in (("baseline", base_parallel),
+                                    ("fresh", fresh_parallel)):
+                if not isinstance(parallel, dict) or not parallel:
+                    continue
+                growth = parallel.get("pss_growth_at_max_workers")
+                growth_cap = parallel_floors["pss_growth_max"]
+                if growth is None:
+                    problems.append(
+                        f"{preset}/parallel ({label}): missing "
+                        f"'pss_growth_at_max_workers'; cannot check the "
+                        f"shared-memory floor")
+                elif growth > growth_cap:
+                    problems.append(
+                        f"{preset}/parallel ({label}): fleet PSS grew "
+                        f"{growth:.2f}x at {parallel.get('max_workers')} "
+                        f"workers, above the {growth_cap:g}x cap — the "
+                        f"workers are not sharing one table copy")
+                host_cpus = parallel.get("host_cpus", 0)
+                if host_cpus >= parallel_floors["min_host_cpus"]:
+                    speedup = parallel.get("best_speedup_at_max_workers")
+                    speedup_min = parallel_floors["speedup_min"]
+                    if speedup is None:
+                        problems.append(
+                            f"{preset}/parallel ({label}): missing "
+                            f"'best_speedup_at_max_workers'; cannot check "
+                            f"the {speedup_min:g}x floor")
+                    elif speedup < speedup_min:
+                        problems.append(
+                            f"{preset}/parallel ({label}): best speedup "
+                            f"{speedup:.2f}x at "
+                            f"{parallel.get('max_workers')} workers is "
+                            f"below the required {speedup_min:g}x floor "
+                            f"(host had {host_cpus} CPUs)")
     return problems
 
 

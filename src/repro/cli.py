@@ -8,6 +8,7 @@ Commands
 ``experiment`` regenerate one paper artifact (table1..4, fig4..10)
 ``generate``   write a synthetic dataset to disk (.npz or text directory)
 ``serve-bench`` run the sweep-8 serving A/B (exact vs IVF vs LSH retrieval)
+``parallel-bench`` run the sweep-9 multi-process training sweep
 """
 
 from __future__ import annotations
@@ -148,6 +149,31 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_parallel_bench(args) -> int:
+    from repro.experiments.engine_bench import (
+        EngineBenchResults,
+        merge_preset_section,
+        run_parallel_bench,
+    )
+
+    section = run_parallel_bench(
+        preset=args.preset, epochs=args.epochs,
+        batches_per_epoch=args.batches_per_epoch,
+        batch_size=args.batch_size, embed_dim=args.embed_dim,
+        fanout=args.fanout, modes=tuple(args.modes),
+        worker_counts=tuple(args.workers), seed=args.seed, dtype=args.dtype)
+    rendered = EngineBenchResults(dataset_name=args.preset, epochs=args.epochs)
+    rendered.parallel = section
+    lines = rendered.render().splitlines()
+    start = next(i for i, line in enumerate(lines)
+                 if line.startswith("parallel"))
+    print("\n".join(lines[start:]))
+    if args.output:
+        merge_preset_section(args.output, args.preset, "parallel", section)
+        print(f"merged parallel section into {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DGNN (ICDE 2023) reproduction toolkit")
@@ -204,6 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", default=None,
                        help="BENCH_engine.json to merge the section into")
     serve.set_defaults(func=_cmd_serve_bench)
+
+    par = commands.add_parser(
+        "parallel-bench",
+        help="sweep-9 multi-process training: epoch rate and fleet PSS "
+             "vs worker count")
+    par.add_argument("--preset", default="medium", choices=sorted(PRESETS))
+    par.add_argument("--epochs", type=int, default=2)
+    par.add_argument("--batches-per-epoch", type=int, default=4)
+    par.add_argument("--batch-size", type=int, default=512)
+    par.add_argument("--embed-dim", type=int, default=32)
+    par.add_argument("--fanout", type=int, default=10)
+    par.add_argument("--modes", nargs="+", default=["hogwild", "sync"],
+                     choices=["hogwild", "sync"])
+    par.add_argument("--workers", type=int, nargs="+", default=[1, 2],
+                     help="worker counts to ladder through (0 = the "
+                          "single-process reference, always run)")
+    par.add_argument("--dtype", default="float32",
+                     choices=["float32", "float64"])
+    par.add_argument("--seed", type=int, default=0)
+    par.add_argument("--output", default=None,
+                     help="BENCH_engine.json to merge the section into")
+    par.set_defaults(func=_cmd_parallel_bench)
     return parser
 
 

@@ -1,6 +1,6 @@
 """Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Eight sweeps, each answering one question about the engine's hot path:
+Nine sweeps, each answering one question about the engine's hot path:
 
 * :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
   (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
@@ -33,6 +33,14 @@ Eight sweeps, each answering one question about the engine's hot path:
   p50/p99 latency and recall@k against the exact arm.  At ``xlarge``
   the entry is timing-only (untrained embeddings carry no cluster
   structure for ANN recall to exploit).
+* :func:`run_parallel_bench` — sweep 9, multi-process shared-memory
+  training: epoch rate and fleet-wide peak PSS vs worker count for both
+  ``hogwild`` and ``sync`` update modes, each arm in its own subprocess,
+  with a single-process :class:`~repro.train.Trainer` reference arm and
+  an end-to-end snapshot-publish leg.  The section records
+  ``host_cpus`` so timing floors only bind on hosts with real
+  parallelism; the sublinear-PSS (one shared table copy) floor binds
+  everywhere.
 
 The *recorded production configuration* is ``float32``: every sweep
 except the explicit dtype A/B runs under ``use_dtype("float32")``, and
@@ -112,6 +120,7 @@ class EngineBenchResults:
     optimizer: Dict[str, Dict[str, float]] = field(default_factory=dict)
     memory: Dict[str, object] = field(default_factory=dict)
     serving: Dict[str, object] = field(default_factory=dict)
+    parallel: Dict[str, object] = field(default_factory=dict)
     production_dtype: str = PRODUCTION_DTYPE
 
     @property
@@ -224,6 +233,30 @@ class EngineBenchResults:
                     f"  best ANN: {best.get('arm')} "
                     f"{best.get('speedup_over_exact', 0.0):.2f}x over exact "
                     f"at recall@{k} {best.get('recall_at_k', 0.0):.3f}")
+        if self.parallel:
+            lines.append(
+                f"parallel training (host_cpus="
+                f"{self.parallel.get('host_cpus', 0)}):")
+            for mode in ("hogwild", "sync"):
+                mode_section = self.parallel.get(mode)
+                if not isinstance(mode_section, dict):
+                    continue
+                pieces = []
+                for name in sorted(mode_section):
+                    stats = mode_section[name]
+                    if not isinstance(stats, dict):
+                        continue
+                    workers = name.split("_", 1)[-1]
+                    pieces.append(
+                        f"{workers}w {stats.get('epochs_per_sec', 0.0):.3f} "
+                        f"ep/s / {stats.get('peak_pss_mb', 0.0):.0f} MB PSS")
+                if pieces:
+                    lines.append(f"  {mode}: " + ", ".join(pieces))
+            lines.append(
+                f"  at {self.parallel.get('max_workers', 0)} workers: best "
+                f"speedup {self.parallel.get('best_speedup_at_max_workers', 0.0):.2f}x, "
+                f"PSS growth "
+                f"{self.parallel.get('pss_growth_at_max_workers', 0.0):.2f}x")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -240,6 +273,7 @@ class EngineBenchResults:
             "optimizer": self.optimizer,
             "memory": self.memory,
             "serving": self.serving,
+            "parallel": self.parallel,
         }
 
     def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
@@ -808,14 +842,256 @@ def run_memory_bench(
     return section
 
 
-def merge_serving_section(path: Path, preset: str,
-                          section: Dict[str, object]) -> Path:
-    """Write one preset's ``serving`` section into ``BENCH_engine.json``.
+def _host_cpus() -> int:
+    """Usable CPU count (affinity-aware): context for timing-based gates."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _pss_mb(pid: int) -> float:
+    """Proportional set size of one process in MiB (0.0 if unreadable).
+
+    PSS divides each shared page's cost among the processes mapping it,
+    so summing PSS over a worker fleet counts the shared embedding
+    tables **once** — exactly the accounting the shared-memory claim
+    needs (plain RSS charges every worker the full table and would grow
+    linearly no matter what).
+    """
+    try:
+        with open(f"/proc/{pid}/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError):  # pragma: no cover - races / non-Linux
+        return 0.0
+    return 0.0
+
+
+class _PssSampler:
+    """Background sampler of the training fleet's total PSS high-water."""
+
+    def __init__(self, pids_fn, interval: float = 0.05):
+        import threading
+
+        self._pids_fn = pids_fn
+        self._interval = interval
+        self._stop = threading.Event()
+        self.peak_mb = 0.0
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-pss-sampler")
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            total = _pss_mb(os.getpid())
+            total += sum(_pss_mb(pid) for pid in self._pids_fn())
+            self.peak_mb = max(self.peak_mb, total)
+            self._stop.wait(self._interval)
+
+    def __enter__(self) -> "_PssSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _parallel_workload(cfg: Dict) -> Dict[str, object]:
+    """One sweep-9 arm, run inside its own subprocess.
+
+    Trains LightGCN on the sampled-minibatch path with the requested
+    worker count and mode (``workers=0`` is the single-process
+    :class:`Trainer` reference), sampling the fleet's total PSS
+    throughout, and optionally publishes the trained model as a serving
+    snapshot (the end-to-end leg).
+    """
+    from repro.data.sampling import build_eval_candidates
+    from repro.data.split import leave_one_out
+    from repro.data.synthetic import PRESETS
+    from repro.graph.hetero import CollaborativeHeteroGraph
+    from repro.train import ParallelTrainer, Trainer, TrainConfig
+
+    preset = cfg["preset"]
+    seed = int(cfg.get("seed", 0))
+    epochs = int(cfg.get("epochs", 2))
+    workers = int(cfg.get("workers", 1))
+    dataset = PRESETS[preset](seed)
+    split = leave_one_out(dataset, seed=seed)
+    graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+    candidates = build_eval_candidates(split, num_negatives=50, seed=seed)
+    config = TrainConfig(
+        epochs=epochs, batch_size=int(cfg.get("batch_size", 512)),
+        batches_per_epoch=int(cfg.get("batches_per_epoch", 4)),
+        propagation="minibatch", fanout=int(cfg.get("fanout", 10)),
+        workers=workers, parallel_mode=str(cfg.get("mode", "hogwild")),
+        eval_every=max(epochs, 1), patience=None, seed=seed)
+    with use_backend("fast"):
+        model = create_model("lightgcn", graph,
+                             embed_dim=int(cfg.get("embed_dim", 32)),
+                             seed=seed,
+                             num_layers=int(cfg.get("num_layers", 2)))
+        if workers > 0:
+            trainer = ParallelTrainer(model, split, config, candidates)
+            pids_fn = trainer.worker_pids
+        else:
+            trainer = Trainer(model, split, config, candidates)
+            pids_fn = list
+        with _PssSampler(pids_fn) as sampler:
+            history = trainer.fit()
+    seconds_per_epoch = history.mean_train_seconds()
+    result: Dict[str, object] = {
+        "workers": workers,
+        "losses": [float(l) for l in history.losses],
+        "seconds_per_epoch": seconds_per_epoch,
+        "epochs_per_sec": (1.0 / seconds_per_epoch
+                           if seconds_per_epoch > 0 else 0.0),
+        "peak_pss_mb": sampler.peak_mb,
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+    if cfg.get("publish"):
+        from repro.serve.snapshot import EmbeddingSnapshot, SnapshotStore
+
+        with tempfile.TemporaryDirectory(prefix="repro-parbench-") as tmpdir:
+            start = time.perf_counter()
+            snapshot = EmbeddingSnapshot.from_model(model, split)
+            version = SnapshotStore(Path(tmpdir) / "store").publish(snapshot)
+            result["snapshot"] = {
+                "published_version": str(version),
+                "publish_seconds": time.perf_counter() - start,
+                "num_users": int(snapshot.num_users),
+                "num_items": int(snapshot.num_items),
+            }
+    return result
+
+
+def _parallel_child() -> None:  # pragma: no cover - exercised via subprocess
+    """Subprocess entry point: read config from env, write result JSON."""
+    cfg = json.loads(os.environ["REPRO_PARBENCH_CONFIG"])
+    result = _parallel_workload(cfg)
+    Path(cfg["output"]).write_text(json.dumps(result))
+
+
+def _run_parallel_arm(cfg: Dict, timeout: float) -> Dict[str, object]:
+    """Run one sweep-9 arm in a fresh subprocess and return its report.
+
+    Isolation serves the memory claim: the arm's PSS baseline is a
+    fresh interpreter, not whatever the earlier sweeps left resident,
+    so arms at different worker counts are directly comparable.
+    """
+    import repro
+
+    with tempfile.TemporaryDirectory(prefix="repro-parbench-") as tmpdir:
+        output = Path(tmpdir) / "result.json"
+        env = dict(os.environ)
+        env["REPRO_ENGINE_DTYPE"] = cfg.get("dtype", PRODUCTION_DTYPE)
+        env["REPRO_PARBENCH_CONFIG"] = json.dumps({**cfg,
+                                                   "output": str(output)})
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        previous = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not previous
+                             else os.pathsep.join([package_root, previous]))
+        subprocess.run(
+            [sys.executable, "-c",
+             "from repro.experiments.engine_bench import _parallel_child; "
+             "_parallel_child()"],
+            env=env, check=True, timeout=timeout)
+        return json.loads(output.read_text())
+
+
+def run_parallel_bench(
+        preset: str = "large",
+        epochs: int = 2,
+        batches_per_epoch: int = 4,
+        batch_size: int = 512,
+        embed_dim: int = 32,
+        num_layers: int = 2,
+        fanout: int = 10,
+        modes: Sequence[str] = ("hogwild", "sync"),
+        worker_counts: Sequence[int] = (1, 2),
+        seed: int = 0,
+        dtype: str = PRODUCTION_DTYPE,
+        timeout: float = 3600.0) -> Dict[str, object]:
+    """Sweep 9 — epoch rate and memory vs worker count, per update mode.
+
+    Each (mode, workers) arm trains the identical minibatch workload in
+    its own subprocess; a single-process :class:`Trainer` arm is the
+    absolute reference.  Per arm the section records epochs/sec and the
+    fleet's peak total **PSS** — proportional set size counts the
+    shared embedding tables once across the fleet, which is what proves
+    the workers share one copy (``pss_growth_at_max_workers`` staying
+    far below the worker count is the shared-memory signature;
+    per-process RSS would multiple-count shared pages).
+
+    Speedup claims are only meaningful with real cores to run on, so
+    the section records ``host_cpus`` and ``check_regression.py``
+    enforces the ≥2x-at-4-workers floor only on hosts with at least
+    four usable CPUs — the memory floor binds everywhere.
+    """
+    base_cfg = {"preset": preset, "epochs": epochs,
+                "batches_per_epoch": batches_per_epoch,
+                "batch_size": batch_size, "embed_dim": embed_dim,
+                "num_layers": num_layers, "fanout": fanout, "seed": seed,
+                "dtype": dtype}
+    worker_counts = sorted(set(int(w) for w in worker_counts))
+    max_workers = worker_counts[-1]
+    section: Dict[str, object] = {
+        "host_cpus": _host_cpus(),
+        "max_workers": max_workers,
+        "production_dtype": dtype,
+    }
+    single = _run_parallel_arm({**base_cfg, "workers": 0}, timeout)
+    section["single_process"] = single
+    best_speedup = 0.0
+    worst_growth = 0.0
+    for mode in modes:
+        mode_section: Dict[str, object] = {}
+        base_arm: Optional[Dict[str, object]] = None
+        for workers in worker_counts:
+            publish = mode == modes[-1] and workers == max_workers
+            arm = _run_parallel_arm(
+                {**base_cfg, "workers": workers, "mode": mode,
+                 "publish": publish}, timeout)
+            if base_arm is None:
+                base_arm = arm
+            base_rate = float(base_arm.get("epochs_per_sec", 0.0))
+            base_pss = float(base_arm.get("peak_pss_mb", 0.0))
+            arm["speedup_over_1"] = (float(arm["epochs_per_sec"]) / base_rate
+                                     if base_rate > 0 else 0.0)
+            arm["pss_growth_over_1"] = (float(arm["peak_pss_mb"]) / base_pss
+                                        if base_pss > 0 else 0.0)
+            mode_section[f"workers_{workers}"] = arm
+        section[mode] = mode_section
+        top = mode_section.get(f"workers_{max_workers}", {})
+        best_speedup = max(best_speedup,
+                           float(top.get("speedup_over_1", 0.0)))
+        worst_growth = max(worst_growth,
+                           float(top.get("pss_growth_over_1", 0.0)))
+    section["best_speedup_at_max_workers"] = best_speedup
+    section["pss_growth_at_max_workers"] = worst_growth
+    section["peak_rss_mb"] = _peak_rss_mb()
+    return section
+
+
+# Sweep-9 overrides per preset: the large arm uses wide tables and a
+# worker ladder reaching the acceptance point (4 workers); the modest
+# batch/fanout keeps each worker's private subgraph-closure temporaries
+# from drowning the shared footprint the sweep is measuring.
+_PARALLEL_TUNED = {
+    "large": dict(embed_dim=256, batch_size=512, batches_per_epoch=8,
+                  fanout=5, worker_counts=(1, 2, 4)),
+}
+
+
+def merge_preset_section(path: Path, preset: str, name: str,
+                         section: Dict[str, object]) -> Path:
+    """Write one named section into ``presets[preset]`` of the artifact.
 
     Unlike :meth:`EngineBenchResults.write_json` — which replaces a
     preset's scalar fields (``epochs``, ``dataset``) wholesale — this
-    touches *only* ``presets[preset]["serving"]``, so a serving-only
-    re-bench never disturbs the committed training-sweep numbers.
+    touches *only* ``presets[preset][name]``, so a single-sweep re-bench
+    never disturbs the other committed numbers.
     """
     path = Path(path)
     payload: Dict[str, object] = {"presets": {}}
@@ -827,9 +1103,15 @@ def merge_serving_section(path: Path, preset: str,
         if isinstance(existing.get("presets"), dict):
             payload["presets"] = existing["presets"]
     entry = payload["presets"].setdefault(preset, {"dataset": preset})
-    entry["serving"] = section
+    entry[name] = section
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
+
+
+def merge_serving_section(path: Path, preset: str,
+                          section: Dict[str, object]) -> Path:
+    """Write one preset's ``serving`` section into ``BENCH_engine.json``."""
+    return merge_preset_section(path, preset, "serving", section)
 
 
 # Tuned ANN knobs per preset, found by sweeping (num_cells, nprobe) on
@@ -1034,6 +1316,7 @@ def run_engine_suite(
         memory: Optional[bool] = None,
         serving: bool = True,
         serving_train_epochs: Optional[int] = None,
+        parallel: bool = True,
         output_path: Optional[Path] = None) -> EngineBenchResults:
     """All engine sweeps on one shared context; optionally persisted.
 
@@ -1044,7 +1327,9 @@ def run_engine_suite(
     that dwarfs the interpreter baseline to be meaningful.  ``serving``
     controls sweep 8; ``serving_train_epochs`` defaults to a brief
     training run at ``large`` (ANN recall needs trained structure) and
-    none at the smoke presets.
+    none at the smoke presets.  ``parallel`` controls sweep 9 (worker
+    subprocess arms; skipped at ``xlarge``, where a per-arm training run
+    would take hours).
     """
     if memory is None:
         memory = preset in ("large", "xlarge")
@@ -1093,6 +1378,10 @@ def run_engine_suite(
                 context=context, **_SERVING_TUNED.get(preset, {}))
     if memory:
         results.memory = run_memory_bench(preset=preset, seed=seed)
+    if parallel:
+        results.parallel = run_parallel_bench(
+            preset=preset, seed=seed, dtype=dtype,
+            **_PARALLEL_TUNED.get(preset, {}))
     if output_path is not None:
         results.write_json(Path(output_path), preset=preset)
     return results

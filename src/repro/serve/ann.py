@@ -21,6 +21,15 @@ probe scores a *contiguous slice* — full BLAS efficiency, no gather
 per query) plus a CSR-style ``indptr``.  Cells partition the items, so
 candidates from distinct probed cells never collide and need no
 dedup.
+
+Determinism: both builders are pure functions of the embeddings and
+their ``seed`` (k-means init and hyperplane draws come from a local
+``default_rng``), so rebuilding an index on the same snapshot yields
+identical cells and identical served results.  Tuning knobs —
+``num_cells``/``nprobe`` for IVF (recall rises with ``nprobe``, cost
+with candidate volume ≈ ``nprobe/num_cells``), ``num_bits``/``nprobe``
+for LSH — are exposed through ``RecommendService`` and the sweep-8 CLI
+(``python -m repro serve-bench``).
 """
 
 from __future__ import annotations

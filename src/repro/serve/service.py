@@ -24,7 +24,12 @@ for online use —
 In ``"exact"`` mode the results are *bitwise identical* to
 ``full_ranking_topk`` on the live model for the same ``block_size`` —
 the snapshot stores the embeddings uncast, the mask content is the
-same CSR, and ties break identically.
+same CSR, and ties break identically.  The ANN modes are deterministic
+given the index's build seed but trade that exactness for sublinear
+cost (recall against exact is measured and gated in sweep 8).  Knobs:
+``retrieval``, ``block_size``, and the index parameters forwarded to
+:mod:`repro.serve.ann`; buffer pooling follows the engine arena policy
+(``REPRO_ENGINE_ARENA*`` — see ``docs/operations.md``).
 """
 
 from __future__ import annotations

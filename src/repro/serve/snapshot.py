@@ -25,6 +25,14 @@ name in one ``os.rename``, and only then does the ``LATEST`` pointer
 move (written via temp-file + ``os.replace``).  A reader following
 ``load_latest()`` therefore never observes a half-written snapshot,
 and a crashed publisher leaves at worst an orphaned temp directory.
+
+Determinism: persistence is bytes-exact — a published-and-reloaded
+snapshot compares ``np.array_equal`` to the arrays it was built from,
+whether the producer was the single-process ``Trainer`` or a
+``ParallelTrainer`` fleet (``repro.train.train_and_publish`` is the
+training-side handoff).  There are no environment knobs here; the
+arrays inherit whatever ``REPRO_ENGINE_DTYPE`` /
+``REPRO_ENGINE_INDEX_DTYPE`` produced them (see ``docs/operations.md``).
 """
 
 from __future__ import annotations

@@ -3,6 +3,12 @@
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer, TrainingHistory
 from repro.train.early_stopping import EarlyStopping
+from repro.train.parallel import (
+    ParallelTrainer,
+    SharedParamStore,
+    fit_model,
+    train_and_publish,
+)
 from repro.train.pipeline import (
     MinibatchPlanner,
     MinibatchStep,
@@ -23,6 +29,10 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "EarlyStopping",
+    "ParallelTrainer",
+    "SharedParamStore",
+    "fit_model",
+    "train_and_publish",
     "MinibatchPlanner",
     "MinibatchStep",
     "PrefetchPipeline",

@@ -7,8 +7,11 @@ Adam with learning rate 0.01, embedding dimension 16, batch size in the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
+
+_PARALLEL_MODES = ("hogwild", "sync")
 
 
 @dataclass
@@ -30,6 +33,8 @@ class TrainConfig:
     sparse_grads: Optional[bool] = None  # None -> on for minibatch, off for full
     sparse_adam_mode: str = "lazy"  # "lazy" (O(batch) steps) or "dense_correct"
     arena: Optional[bool] = None  # None -> REPRO_ENGINE_ARENA env (default on)
+    workers: Optional[int] = None  # None -> REPRO_WORKERS env (default 0 = single-process)
+    parallel_mode: Optional[str] = None  # None -> REPRO_PARALLEL_MODE env (default "hogwild")
     eval_every: int = 1
     eval_ks: Tuple[int, ...] = (5, 10, 20)
     early_stopping_metric: str = "hr@10"
@@ -58,6 +63,12 @@ class TrainConfig:
         if self.sparse_adam_mode not in ("lazy", "dense_correct"):
             raise ValueError(
                 "sparse_adam_mode must be 'lazy' or 'dense_correct'")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = single-process)")
+        if (self.parallel_mode is not None
+                and self.parallel_mode not in _PARALLEL_MODES):
+            raise ValueError(
+                f"parallel_mode must be one of {_PARALLEL_MODES}")
 
     def resolved_sparse_grads(self) -> bool:
         """Whether this run produces row-sparse embedding gradients.
@@ -83,6 +94,44 @@ class TrainConfig:
             return bool(self.arena)
         from repro.engine.arena import arena_enabled
         return arena_enabled()
+
+    def resolved_workers(self) -> int:
+        """Trainer worker processes: explicit setting, else ``REPRO_WORKERS``.
+
+        ``0`` (the default) keeps the in-process
+        :class:`~repro.train.trainer.Trainer`; any positive count selects
+        the shared-memory :class:`~repro.train.parallel.ParallelTrainer`
+        (which requires ``propagation="minibatch"``).
+        """
+        if self.workers is not None:
+            return int(self.workers)
+        env = os.environ.get("REPRO_WORKERS")
+        if env is None:
+            return 0
+        workers = int(env)
+        if workers < 0:
+            raise ValueError(f"REPRO_WORKERS must be >= 0, got {env!r}")
+        return workers
+
+    def resolved_parallel_mode(self) -> str:
+        """Update mode for parallel training: setting, else ``REPRO_PARALLEL_MODE``.
+
+        ``"hogwild"`` applies lock-free row-sparse updates from every
+        worker; ``"sync"`` merges each round's coalesced gradients in a
+        parent-side reducer and is bitwise-reproducible at any worker
+        count.
+        """
+        if self.parallel_mode is not None:
+            return self.parallel_mode
+        env = os.environ.get("REPRO_PARALLEL_MODE")
+        if env is None:
+            return "hogwild"
+        mode = env.strip().lower()
+        if mode not in _PARALLEL_MODES:
+            raise ValueError(
+                f"REPRO_PARALLEL_MODE must be one of {_PARALLEL_MODES}, "
+                f"got {env!r}")
+        return mode
 
 
 @dataclass

@@ -17,6 +17,17 @@ Evaluation uses the shared 1-positive + 100-negative protocol.  The
 trainer records per-epoch losses, metric trajectories, wall-clock
 timings, and the split between time spent *sampling* batches and time
 spent *computing* on them — the raw material for Table IV and Fig. 8.
+
+Determinism: a run is a pure function of ``(TrainConfig, seed, model
+init)`` — the BPR sampler stream, per-``(epoch, batch)`` fan-out seeds
+and dropout draws are all derived from ``TrainConfig.seed``, so equal
+configs reproduce bitwise.  Prefetch cannot change results (the planner
+stream is identical either way), and the multi-process
+:class:`~repro.train.parallel.ParallelTrainer` holds a 1-worker run
+bitwise-identical to this class.  Environment-resolved knobs
+(``REPRO_PREFETCH``, ``REPRO_ENGINE_ARENA``, ``REPRO_WORKERS``,
+``REPRO_PARALLEL_MODE``) are documented field-by-field in
+``docs/operations.md``.
 """
 
 from __future__ import annotations

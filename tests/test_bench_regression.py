@@ -250,3 +250,94 @@ def test_compare_skips_empty_serving_section():
     fresh = json.loads(json.dumps(baseline))
     fresh["presets"]["large"]["serving"] = {}
     assert check_regression.compare(baseline, fresh) == []
+
+
+def _baseline_with_parallel(speedup=2.5, pss_growth=1.3, host_cpus=8,
+                            preset="large"):
+    return {"presets": {preset: {
+        "backends": {"fast": {"epochs_per_sec": 100.0}},
+        "parallel": {
+            "host_cpus": host_cpus,
+            "max_workers": 4,
+            "single_process": {"epochs_per_sec": 1.0,
+                               "peak_pss_mb": 400.0},
+            "hogwild": {
+                "workers_1": {"epochs_per_sec": 1.0, "peak_pss_mb": 420.0,
+                              "speedup_over_1": 1.0, "pss_growth_over_1": 1.0},
+                "workers_4": {"epochs_per_sec": speedup,
+                              "peak_pss_mb": 420.0 * pss_growth,
+                              "speedup_over_1": speedup,
+                              "pss_growth_over_1": pss_growth},
+            },
+            "best_speedup_at_max_workers": speedup,
+            "pss_growth_at_max_workers": pss_growth,
+        },
+    }}}
+
+
+def test_compare_flags_parallel_epoch_rate_regression():
+    baseline = _baseline_with_parallel()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["parallel"]["hogwild"]["workers_4"][
+        "epochs_per_sec"] = 1.0
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("parallel/hogwild/workers_4" in p
+                            for p in problems)
+
+
+def test_compare_flags_parallel_single_process_regression():
+    baseline = _baseline_with_parallel()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["parallel"]["single_process"][
+        "epochs_per_sec"] = 0.4
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("single_process" in p for p in problems)
+
+
+def test_compare_enforces_parallel_pss_growth_cap_on_large():
+    # Near-linear PSS growth means the workers copied the tables.
+    problems = check_regression.compare(
+        _baseline_with_parallel(pss_growth=1.3),
+        _baseline_with_parallel(pss_growth=3.5))
+    assert problems and any("not sharing" in p for p in problems)
+    # The cap binds the committed baseline too, and on single-CPU hosts.
+    problems = check_regression.compare(
+        _baseline_with_parallel(pss_growth=3.5, host_cpus=1),
+        _baseline_with_parallel(pss_growth=1.3, host_cpus=1))
+    assert problems and any("baseline" in p and "not sharing" in p
+                            for p in problems)
+
+
+def test_compare_parallel_speedup_floor_requires_multicore_host():
+    # On a multi-core recording host the >=2x floor binds...
+    problems = check_regression.compare(
+        _baseline_with_parallel(speedup=2.5, host_cpus=8),
+        _baseline_with_parallel(speedup=1.2, host_cpus=8))
+    assert problems and any("below the required 2x floor" in p
+                            for p in problems)
+    # ...but a single-core host cannot speed up wall-clock at all, so
+    # the floor is skipped there (the PSS cap still applies).
+    weak = _baseline_with_parallel(speedup=0.9, host_cpus=1)
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_parallel_floors_only_apply_to_large():
+    weak = _baseline_with_parallel(speedup=0.8, pss_growth=3.9,
+                                   preset="tiny")
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_reports_missing_parallel_section():
+    baseline = _baseline_with_parallel()
+    fresh = {"presets": {"large": {
+        "backends": {"fast": {"epochs_per_sec": 100.0}}}}}
+    problems = check_regression.compare(baseline, fresh)
+    assert any("expected section 'parallel' is missing" in p
+               for p in problems)
+
+
+def test_compare_skips_empty_parallel_section():
+    baseline = _baseline_with_parallel()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["parallel"] = {}
+    assert check_regression.compare(baseline, fresh) == []
