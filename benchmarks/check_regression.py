@@ -89,11 +89,43 @@ _PARALLEL_KEYS = ("epochs_per_sec",)
 _PARALLEL_FLOORS = {
     "large": {"pss_growth_max": 2.5, "speedup_min": 2.0, "min_host_cpus": 4},
 }
+# Locality section (sweep 10) per-arm metrics: composite-pass
+# propagation rate, end-to-end epoch rate and exact serving throughput
+# of each (reorder strategy × spmm kernel) arm.
+_LOCALITY_KEYS = ("propagation_per_sec", "epochs_per_sec",
+                  "serving_queries_per_sec")
+# Hard floor on the sweep-10 locality claim: at these presets the best
+# reordered+blocked arm must beat the flat identity-order oracle's
+# composite propagation pass by the given factor.  Locality only has
+# room to pay once the embedding working set spills out of the last
+# cache level — on hosts whose L3 swallows the whole preset every
+# ordering is equally hot — so the floor binds only when the section's
+# recorded ``working_set_mb`` exceeds ``host_l3_mb`` (mirroring the
+# parallel sweep's ``min_host_cpus`` guard).  Enforced on both the
+# committed artifact and any fresh re-bench that runs the sweep; the
+# sweep's in-bench correctness flags (blocked results bitwise equal to
+# flat, top-k id sets invariant under relabeling) are checked
+# unconditionally.
+#
+# The floors differ by preset on purpose.  ``large`` carries the full
+# 1.25x claim: when its working set spills the LLC (any commodity-cache
+# host) the oracle's gathers are all DRAM misses and reordered+blocked
+# clears 1.25x with room.  ``xlarge`` floors at 1.10x: its 128-dim user
+# table (~112 MB) can sit inside a big server LLC even while the item
+# table (~400 MB) cannot, leaving only one of the three joints
+# DRAM-bound for the oracle — the recorded paired-median speedup on
+# such hosts lands near 1.15x, and 1.10x is the regression line under
+# round-to-round noise.
+_LOCALITY_FLOORS = {
+    "large": {"speedup_min": 1.25},
+    "xlarge": {"speedup_min": 1.10},
+}
 # Per-preset sections the artifact is built from; used to report a
 # *missing* section (key absent) distinctly from one that was not run
 # (present but empty), which is normal for partial smoke refreshes.
 _SECTIONS = ("backends", "memory_kernel", "dtype_sweep", "thread_sweep",
-             "minibatch", "optimizer", "memory", "serving", "parallel")
+             "minibatch", "optimizer", "memory", "serving", "parallel",
+             "locality")
 
 
 def _presets(payload: Dict) -> Dict[str, Dict]:
@@ -279,6 +311,74 @@ def compare(baseline: Dict, fresh: Dict,
                         problems.append(
                             f"{preset}/parallel/{mode}/{arm}: {key} regressed "
                             f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+        base_locality = base_presets[preset].get("locality", {})
+        fresh_locality = fresh_presets[preset].get("locality", {})
+        base_arms = (base_locality.get("arms", {})
+                     if isinstance(base_locality, dict) else {})
+        fresh_arms = (fresh_locality.get("arms", {})
+                      if isinstance(fresh_locality, dict) else {})
+        for arm in sorted(set(base_arms) & set(fresh_arms)):
+            base_stats = base_arms[arm]
+            fresh_stats = fresh_arms[arm]
+            if not isinstance(base_stats, dict) or not isinstance(fresh_stats, dict):
+                continue
+            for key in _LOCALITY_KEYS:
+                old = base_stats.get(key)
+                new = fresh_stats.get(key)
+                if not old or new is None:
+                    continue
+                drop = (old - new) / old
+                if drop > threshold:
+                    problems.append(
+                        f"{preset}/locality/{arm}: {key} regressed "
+                        f"{100 * drop:.1f}% ({old:.3f} -> {new:.3f})")
+        locality_floors = _LOCALITY_FLOORS.get(preset)
+        for label, locality in (("baseline", base_locality),
+                                ("fresh", fresh_locality)):
+            if not isinstance(locality, dict) or not locality:
+                continue
+            for arm, stats in sorted(locality.get("arms", {}).items()):
+                if not isinstance(stats, dict):
+                    continue
+                if stats.get("blocked_bitwise_ok") is False:
+                    problems.append(
+                        f"{preset}/locality/{arm} ({label}): blocked spmm "
+                        f"output is not bitwise equal to the flat kernel")
+                if stats.get("topk_matches_identity") is False:
+                    problems.append(
+                        f"{preset}/locality/{arm} ({label}): top-k id sets "
+                        f"changed under node relabeling — the permutation "
+                        f"boundary is leaking internal ids")
+            if locality_floors is None:
+                continue
+            working_set = locality.get("working_set_mb")
+            host_l3 = locality.get("host_l3_mb")
+            if working_set is None or host_l3 is None or working_set <= host_l3:
+                # Cache-resident run (or cache size unknown): the
+                # reordering claim has no room to bind, same as the
+                # parallel floor on an undersized host.
+                continue
+            best = locality.get("best")
+            speedup_min = locality_floors["speedup_min"]
+            if not isinstance(best, dict):
+                problems.append(
+                    f"{preset}/locality ({label}): section has no 'best' "
+                    f"summary — run the locality sweep with at least one "
+                    f"reordered blocked arm so the floor can be checked")
+                continue
+            speedup = best.get("propagation_speedup_over_flat")
+            if speedup is None:
+                problems.append(
+                    f"{preset}/locality/best ({label}): missing "
+                    f"'propagation_speedup_over_flat'; cannot check the "
+                    f"{speedup_min:g}x floor")
+            elif speedup < speedup_min:
+                problems.append(
+                    f"{preset}/locality/best ({label}): {best.get('arm')} "
+                    f"speedup {speedup:.3f}x over the flat identity oracle "
+                    f"is below the required {speedup_min:g}x floor "
+                    f"(working set {working_set:.0f} MB vs "
+                    f"{host_l3:.0f} MB L3 — DRAM-bound run)")
         parallel_floors = _PARALLEL_FLOORS.get(preset)
         if parallel_floors is not None:
             for label, parallel in (("baseline", base_parallel),

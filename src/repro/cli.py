@@ -9,6 +9,7 @@ Commands
 ``generate``   write a synthetic dataset to disk (.npz or text directory)
 ``serve-bench`` run the sweep-8 serving A/B (exact vs IVF vs LSH retrieval)
 ``parallel-bench`` run the sweep-9 multi-process training sweep
+``locality-bench`` run the sweep-10 reorder × blocked-spmm locality sweep
 """
 
 from __future__ import annotations
@@ -174,6 +175,35 @@ def _cmd_parallel_bench(args) -> int:
     return 0
 
 
+def _cmd_locality_bench(args) -> int:
+    from repro.engine import use_dtype
+    from repro.experiments.engine_bench import (
+        EngineBenchResults,
+        merge_preset_section,
+        run_locality_bench,
+    )
+
+    with use_dtype(args.dtype):
+        section = run_locality_bench(
+            preset=args.preset, embed_dim=args.embed_dim,
+            num_layers=args.num_layers, strategies=tuple(args.strategies),
+            repeats=args.repeats, epochs=args.epochs,
+            batches_per_epoch=args.batches_per_epoch,
+            batch_size=args.batch_size, num_queries=args.num_queries,
+            seed=args.seed,
+            timing_only=args.timing_only if args.timing_only else None)
+    rendered = EngineBenchResults(dataset_name=args.preset, epochs=args.epochs)
+    rendered.locality = section
+    lines = rendered.render().splitlines()
+    start = next(i for i, line in enumerate(lines)
+                 if line.startswith("locality"))
+    print("\n".join(lines[start:]))
+    if args.output:
+        merge_preset_section(args.output, args.preset, "locality", section)
+        print(f"merged locality section into {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DGNN (ICDE 2023) reproduction toolkit")
@@ -252,6 +282,30 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--output", default=None,
                      help="BENCH_engine.json to merge the section into")
     par.set_defaults(func=_cmd_parallel_bench)
+
+    loc = commands.add_parser(
+        "locality-bench",
+        help="sweep-10 cache-locality pass: node reordering × blocked spmm")
+    loc.add_argument("--preset", default="medium", choices=sorted(PRESETS))
+    loc.add_argument("--embed-dim", type=int, default=64)
+    loc.add_argument("--num-layers", type=int, default=2)
+    loc.add_argument("--strategies", nargs="+",
+                     default=["identity", "degree", "rcm"],
+                     choices=["identity", "degree", "rcm"])
+    loc.add_argument("--repeats", type=int, default=7)
+    loc.add_argument("--epochs", type=int, default=2)
+    loc.add_argument("--batches-per-epoch", type=int, default=2)
+    loc.add_argument("--batch-size", type=int, default=1024)
+    loc.add_argument("--num-queries", type=int, default=2048)
+    loc.add_argument("--timing-only", action="store_true",
+                     help="skip the epoch and serving legs (forced on at "
+                          "xlarge)")
+    loc.add_argument("--dtype", default="float32",
+                     choices=["float32", "float64"])
+    loc.add_argument("--seed", type=int, default=0)
+    loc.add_argument("--output", default=None,
+                     help="BENCH_engine.json to merge the section into")
+    loc.set_defaults(func=_cmd_locality_bench)
     return parser
 
 

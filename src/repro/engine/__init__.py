@@ -23,7 +23,13 @@ Five layers (bottom to top):
 defined here.
 """
 
-from repro.engine import arena, instrument
+from repro.engine import arena, instrument, locality
+from repro.engine.locality import (
+    clear_block_cache,
+    get_spmm_block,
+    set_spmm_block,
+    use_spmm_block,
+)
 from repro.engine.adjcache import (
     AdjacencyCache,
     cached_transpose,
@@ -67,21 +73,26 @@ __all__ = [
     "available_backends",
     "bpr_terms",
     "cached_transpose",
+    "clear_block_cache",
     "get_backend",
     "get_cache",
     "get_dtype",
     "get_index_dtype",
+    "get_spmm_block",
     "index_dtype_for",
     "instrument",
+    "locality",
     "normalized",
     "register_backend",
     "set_backend",
     "set_dtype",
     "set_index_dtype",
+    "set_spmm_block",
     "tolerances",
     "use_backend",
     "use_dtype",
     "use_index_dtype",
+    "use_spmm_block",
 ]
 
 

@@ -25,9 +25,16 @@ The active backend is selected with :func:`set_backend`, the
 environment variable at import time; :mod:`repro.autograd.ops` routes
 ``spmm`` / ``segment_sum`` / ``gathered_rowwise_dot`` /
 ``memory_mixture`` through it.  Each dispatch records call counts,
-nonzeros and a dense-FLOP estimate in :mod:`repro.engine.instrument`.
-Kernels compute in the dtype of their inputs; the engine-wide precision
-policy lives in :mod:`repro.engine.precision`.
+nonzeros, dense-FLOP and bytes-moved estimates in
+:mod:`repro.engine.instrument`.  Kernels compute in the dtype of their
+inputs; the engine-wide precision policy lives in
+:mod:`repro.engine.precision`.
+
+Orthogonally to backend choice, :mod:`repro.engine.locality` supplies a
+cache-blocked spmm (plus chunked gather and coalescing scatter) that the
+``fast`` and ``threaded`` backends switch to when an spmm block budget
+is active (``REPRO_ENGINE_SPMM_BLOCK`` / ``TrainConfig.spmm_block``);
+the blocked spmm is bitwise identical to the flat kernel.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.engine import arena
+from repro.engine import arena, locality
 from repro.engine.instrument import counters
 
 try:  # pragma: no cover - import guard for exotic scipy builds
@@ -74,19 +81,35 @@ class KernelBackend:
 
     # -- public, instrumented entry points -----------------------------
     def spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
-             out: Optional[np.ndarray] = None) -> np.ndarray:
+             out: Optional[np.ndarray] = None,
+             accumulate: bool = False) -> np.ndarray:
         """``matrix @ dense`` for a CSR matrix and an ``(n, d)`` array.
 
         ``out``, when given, receives the product in place (it is fully
         overwritten).  When omitted and an arena step scope is active,
-        the result buffer is checked out of the pool.
+        the result buffer is checked out of the pool.  ``accumulate``
+        requires ``out`` and computes ``out += matrix @ dense`` instead
+        — the fused form of a propagation sum like ``social·U + Y·I``,
+        which skips one zeroing pass and the separate elementwise add.
+        Per output element the new terms extend the existing value in
+        ascending column order, so flat and blocked paths stay bitwise
+        identical to each other under ``accumulate`` as well.
         """
+        if accumulate and out is None:
+            raise ValueError("spmm(accumulate=True) requires an out= buffer")
         start = time.perf_counter()
-        out = self._spmm(matrix, dense, out=out)
+        out = self._spmm(matrix, dense, out=out, accumulate=accumulate)
         width = dense.shape[1] if dense.ndim > 1 else 1
-        counters().record_kernel("spmm", time.perf_counter() - start,
-                                 nnz=matrix.nnz,
-                                 flops=2.0 * matrix.nnz * width)
+        item = dense.dtype.itemsize
+        index_bytes = matrix.indices.dtype.itemsize + matrix.data.dtype.itemsize
+        counters().record_kernel(
+            "spmm", time.perf_counter() - start,
+            nnz=matrix.nnz,
+            flops=2.0 * matrix.nnz * width,
+            # one dense-row read per nonzero, CSR structure once, the
+            # output tile zeroed + accumulated once
+            bytes_moved=(matrix.nnz * (width * item + index_bytes)
+                         + 2.0 * matrix.shape[0] * width * item))
         return out
 
     def gathered_rowwise_dot(self, a: np.ndarray, a_indices: np.ndarray,
@@ -101,7 +124,9 @@ class KernelBackend:
         out = self._gathered_rowwise_dot(a, a_indices, b, b_indices)
         counters().record_kernel(
             "gathered_rowwise_dot", time.perf_counter() - start,
-            flops=2.0 * len(a_indices) * a.shape[1])
+            flops=2.0 * len(a_indices) * a.shape[1],
+            bytes_moved=(2.0 * len(a_indices) * a.shape[1] * a.dtype.itemsize
+                         + len(a_indices) * out.dtype.itemsize))
         return out
 
     def gather_rows(self, table: np.ndarray, indices: np.ndarray,
@@ -116,8 +141,10 @@ class KernelBackend:
         start = time.perf_counter()
         out = self._gather_rows(table, indices, out=out)
         width = int(np.prod(table.shape[1:])) if table.ndim > 1 else 1
-        counters().record_kernel("gather_rows", time.perf_counter() - start,
-                                 flops=float(indices.size) * width)
+        counters().record_kernel(
+            "gather_rows", time.perf_counter() - start,
+            flops=float(indices.size) * width,
+            bytes_moved=2.0 * indices.size * width * table.dtype.itemsize)
         return out
 
     def scatter_add_rows(self, grad: np.ndarray, indices: np.ndarray,
@@ -135,7 +162,11 @@ class KernelBackend:
         width = int(np.prod(grad.shape[indices.ndim:])) if grad.ndim else 1
         counters().record_kernel(
             "scatter_add_rows", time.perf_counter() - start,
-            flops=float(indices.size) * width)
+            flops=float(indices.size) * width,
+            # each gradient row read once, its target row read + written,
+            # plus the zeroing pass over the output table
+            bytes_moved=(3.0 * indices.size * width * grad.dtype.itemsize
+                         + float(num_rows) * width * grad.dtype.itemsize))
         return out
 
     def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray,
@@ -204,7 +235,7 @@ class KernelBackend:
 
     # -- kernels to implement ------------------------------------------
     def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
-              out=None) -> np.ndarray:
+              out=None, accumulate: bool = False) -> np.ndarray:
         raise NotImplementedError
 
     def _gathered_rowwise_dot(self, a, a_indices, b, b_indices) -> np.ndarray:
@@ -238,11 +269,11 @@ class NaiveBackend(KernelBackend):
     name = "naive"
 
     def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
-              out=None) -> np.ndarray:
+              out=None, accumulate: bool = False) -> np.ndarray:
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
         out = _out_buffer((matrix.shape[0],) + dense.shape[1:],
                           np.result_type(matrix.dtype, dense.dtype),
-                          out, zero=True)
+                          out, zero=not accumulate)
         for row in range(matrix.shape[0]):
             start, stop = indptr[row], indptr[row + 1]
             for position in range(start, stop):
@@ -322,24 +353,41 @@ class FastBackend(KernelBackend):
     name = "fast"
 
     def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
-              out=None) -> np.ndarray:
+              out=None, accumulate: bool = False) -> np.ndarray:
         dtype = np.result_type(matrix.dtype, dense.dtype)
         out_shape = (matrix.shape[0],) + dense.shape[1:]
-        if out is None and not arena.get_arena().pools(out_shape, dtype):
+        block_bytes = locality.get_spmm_block()
+        if (out is None and block_bytes is None
+                and not arena.get_arena().pools(out_shape, dtype)):
             return matrix @ dense
         out = _out_buffer(out_shape, dtype, out, zero=False)
+        if (block_bytes is not None
+                and locality.can_block_spmm(matrix, dense, out)):
+            # Row-block CSC streaming: the output tile stays
+            # cache-resident while the dense operand is read in
+            # ascending column order.  Per-element accumulation order
+            # matches csr_matvecs on sorted indices, so the result is
+            # bitwise identical to the flat path below.
+            return locality.blocked_spmm(matrix, dense, out,
+                                         block_bytes=block_bytes,
+                                         accumulate=accumulate)
         if (_csr_tools is not None and dense.ndim == 2
                 and matrix.dtype == dense.dtype == out.dtype
                 and matrix.indices.dtype == matrix.indptr.dtype
                 and dense.flags.c_contiguous and out.flags.c_contiguous):
             # scipy's own __matmul__ bottoms out in csr_matvecs on a
             # zeroed result, so writing through it is bitwise identical
-            # to `matrix @ dense` — minus the fresh allocation.
-            out[...] = 0
+            # to `matrix @ dense` — minus the fresh allocation.  The
+            # kernel sums into its output, which is exactly the
+            # ``accumulate`` contract when the zeroing is skipped.
+            if not accumulate:
+                out[...] = 0
             _csr_tools.csr_matvecs(
                 matrix.shape[0], matrix.shape[1], dense.shape[1],
                 matrix.indptr, matrix.indices, matrix.data,
                 dense.ravel(), out.ravel())
+        elif accumulate:
+            out += matrix @ dense
         else:
             out[...] = matrix @ dense
         return out
@@ -349,9 +397,14 @@ class FastBackend(KernelBackend):
 
     def _gather_rows(self, table, indices, out=None) -> np.ndarray:
         out_shape = indices.shape + table.shape[1:]
-        if out is None and not arena.get_arena().pools(out_shape, table.dtype):
+        block_bytes = locality.get_spmm_block()
+        if (out is None and block_bytes is None
+                and not arena.get_arena().pools(out_shape, table.dtype)):
             return table[indices]
         out = _out_buffer(out_shape, table.dtype, out, zero=False)
+        if block_bytes is not None and table.ndim > 1:
+            return locality.gather_rows_blocked(table, indices, out,
+                                                block_bytes=block_bytes)
         np.take(table, indices, axis=0, out=out)
         return out
 
@@ -359,6 +412,9 @@ class FastBackend(KernelBackend):
                           out=None) -> np.ndarray:
         out = _out_buffer((num_rows,) + grad.shape[indices.ndim:],
                           grad.dtype, out, zero=True)
+        if (locality.get_spmm_block() is not None
+                and locality.scatter_add_rows_clustered(grad, indices, out)):
+            return out
         np.add.at(out, indices, grad)
         return out
 
@@ -457,15 +513,22 @@ class ThreadedBackend(FastBackend):
         return np.unique(bounds)
 
     def _spmm(self, matrix: sp.csr_matrix, dense: np.ndarray,
-              out=None) -> np.ndarray:
+              out=None, accumulate: bool = False) -> np.ndarray:
         if self.workers == 1 or matrix.nnz < self.min_parallel_nnz:
-            return super()._spmm(matrix, dense, out=out)
+            return super()._spmm(matrix, dense, out=out,
+                                 accumulate=accumulate)
         bounds = self._row_blocks(matrix.indptr, self.workers)
         if len(bounds) < 3:  # degenerate split — single block
-            return super()._spmm(matrix, dense, out=out)
+            return super()._spmm(matrix, dense, out=out,
+                                 accumulate=accumulate)
         out = _out_buffer((matrix.shape[0],) + dense.shape[1:],
                           np.result_type(matrix.dtype, dense.dtype),
                           out, zero=False)
+        block_bytes = locality.get_spmm_block()
+        if (block_bytes is not None
+                and locality.can_block_spmm(matrix, dense, out)):
+            return self._spmm_blocked_parallel(matrix, dense, out, block_bytes,
+                                               accumulate=accumulate)
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
 
         def run_block(lo: int, hi: int) -> None:
@@ -473,10 +536,48 @@ class ThreadedBackend(FastBackend):
             block = sp.csr_matrix(
                 (data[s0:s1], indices[s0:s1], indptr[lo:hi + 1] - s0),
                 shape=(hi - lo, matrix.shape[1]), copy=False)
-            out[lo:hi] = block @ dense
+            if accumulate:
+                out[lo:hi] += block @ dense
+            else:
+                out[lo:hi] = block @ dense
 
         futures = [self._executor().submit(run_block, int(lo), int(hi))
                    for lo, hi in zip(bounds[:-1], bounds[1:])]
+        for future in futures:
+            future.result()
+        return out
+
+    def _spmm_blocked_parallel(self, matrix: sp.csr_matrix,
+                               dense: np.ndarray, out: np.ndarray,
+                               block_bytes: int,
+                               accumulate: bool = False) -> np.ndarray:
+        """Cache-blocked spmm with row blocks fanned across the pool.
+
+        Each cached CSC row block writes a disjoint slice of ``out``, so
+        the blocks are embarrassingly parallel; per-element accumulation
+        order is unchanged, keeping the result bitwise identical to the
+        serial paths.
+        """
+        width = dense.shape[1]
+        block_bytes = locality.resolve_block_bytes(block_bytes, out.nbytes)
+        block_rows = locality.rows_per_block(
+            matrix.shape[0], width * out.dtype.itemsize, block_bytes)
+        blocks = locality.block_cache().get(matrix, block_rows)
+        if blocks.num_blocks == 1:
+            return locality.blocked_spmm(matrix, dense, out,
+                                         block_bytes=block_bytes,
+                                         accumulate=accumulate)
+        flat_dense = dense.ravel()
+
+        def run_block(position: int) -> None:
+            lo = int(blocks.bounds[position])
+            hi = int(blocks.bounds[position + 1])
+            locality.apply_piece(blocks.pieces[position], hi - lo, width,
+                                 flat_dense, out[lo:hi],
+                                 accumulate=accumulate)
+
+        futures = [self._executor().submit(run_block, position)
+                   for position in range(blocks.num_blocks)]
         for future in futures:
             future.result()
         return out

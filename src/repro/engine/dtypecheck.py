@@ -67,10 +67,11 @@ class DtypeCheckingBackend(KernelBackend):
         self.inner = inner if inner is not None else get_backend()
         self.name = f"dtypecheck({self.inner.name})"
 
-    def _spmm(self, matrix, dense, out=None):
+    def _spmm(self, matrix, dense, out=None, accumulate=False):
         _check("spmm", "matrix", matrix)
         _check("spmm", "dense", dense)
-        result = self.inner._spmm(matrix, dense, out=out)
+        result = self.inner._spmm(matrix, dense, out=out,
+                                  accumulate=accumulate)
         _check("spmm", "result", result)
         return result
 

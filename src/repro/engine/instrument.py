@@ -2,8 +2,9 @@
 
 Every sparse kernel dispatched through :mod:`repro.engine.backends` and
 every adjacency normalization performed by :mod:`repro.engine.adjcache`
-reports here: call counts, nonzeros processed, a dense-FLOP estimate and
-wall-clock seconds per kernel.  The counters are process-global and
+reports here: call counts, nonzeros processed, per-kernel dense-FLOP and
+bytes-moved estimates and wall-clock seconds (:func:`roofline` turns a
+snapshot into per-kernel GFLOP/s / GB/s / intensity coordinates).  The counters are process-global and
 monotonic; consumers take :func:`snapshot` deltas around the region they
 care about (the :class:`~repro.train.trainer.Trainer` does this per
 epoch, :mod:`repro.experiments.efficiency` per model run), which is how
@@ -24,6 +25,8 @@ class KernelCounters:
 
     calls: Dict[str, int] = field(default_factory=dict)
     seconds: Dict[str, float] = field(default_factory=dict)
+    flops: Dict[str, float] = field(default_factory=dict)
+    bytes_moved: Dict[str, float] = field(default_factory=dict)
     spmm_nnz: int = 0
     dense_flops: float = 0.0
     cache_hits: int = 0
@@ -32,14 +35,24 @@ class KernelCounters:
 
     # ------------------------------------------------------------------
     def record_kernel(self, name: str, seconds: float, nnz: int = 0,
-                      flops: float = 0.0) -> None:
-        """Account one backend kernel invocation."""
+                      flops: float = 0.0, bytes_moved: float = 0.0) -> None:
+        """Account one backend kernel invocation.
+
+        ``flops`` is a dense-equivalent FLOP estimate and ``bytes_moved``
+        a best-effort memory-traffic model (operands read + results
+        written once, ignoring cache reuse) — together they place each
+        kernel on a roofline (:func:`roofline`).
+        """
         self.calls[name] = self.calls.get(name, 0) + 1
         self.seconds[name] = self.seconds.get(name, 0.0) + seconds
         if nnz:
             self.spmm_nnz += int(nnz)
         if flops:
             self.dense_flops += float(flops)
+            self.flops[name] = self.flops.get(name, 0.0) + float(flops)
+        if bytes_moved:
+            self.bytes_moved[name] = (self.bytes_moved.get(name, 0.0)
+                                      + float(bytes_moved))
 
     def record_cache(self, hit: bool) -> None:
         """Account one adjacency-cache lookup."""
@@ -66,12 +79,18 @@ class KernelCounters:
             flat[f"calls.{name}"] = float(count)
         for name, secs in self.seconds.items():
             flat[f"seconds.{name}"] = float(secs)
+        for name, ops in self.flops.items():
+            flat[f"flops.{name}"] = float(ops)
+        for name, moved in self.bytes_moved.items():
+            flat[f"bytes.{name}"] = float(moved)
         return flat
 
     def reset(self) -> None:
         """Zero every counter (tests and per-run bookkeeping)."""
         self.calls.clear()
         self.seconds.clear()
+        self.flops.clear()
+        self.bytes_moved.clear()
         self.spmm_nnz = 0
         self.dense_flops = 0.0
         self.cache_hits = 0
@@ -102,6 +121,33 @@ def delta(before: Dict[str, float],
     """Per-key difference ``after - before`` over the union of keys."""
     keys = set(before) | set(after)
     return {key: after.get(key, 0.0) - before.get(key, 0.0) for key in keys}
+
+
+def roofline(flat: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Per-kernel roofline coordinates from a flat snapshot (or delta).
+
+    For every kernel that recorded wall-clock time, returns achieved
+    ``gflops_per_sec``, ``gbytes_per_sec`` and the arithmetic intensity
+    ``flops_per_byte`` — enough to see at a glance whether a kernel sits
+    on the memory-bound or compute-bound side of the machine's roof.
+    Entries without traffic estimates report zeros for the ratios.
+    """
+    kernels: Dict[str, Dict[str, float]] = {}
+    for key, value in flat.items():
+        if not key.startswith("seconds."):
+            continue
+        name = key[len("seconds."):]
+        seconds = float(value)
+        flops = float(flat.get(f"flops.{name}", 0.0))
+        moved = float(flat.get(f"bytes.{name}", 0.0))
+        kernels[name] = {
+            "calls": float(flat.get(f"calls.{name}", 0.0)),
+            "seconds": seconds,
+            "gflops_per_sec": (flops / seconds / 1e9) if seconds > 0 else 0.0,
+            "gbytes_per_sec": (moved / seconds / 1e9) if seconds > 0 else 0.0,
+            "flops_per_byte": (flops / moved) if moved > 0 else 0.0,
+        }
+    return kernels
 
 
 @contextlib.contextmanager

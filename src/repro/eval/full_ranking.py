@@ -114,17 +114,28 @@ def full_ranking_ranks(model, split: Split, batch_size: int = 256,
 
 def full_ranking_topk(model, split: Split, users: Optional[np.ndarray] = None,
                       top_n: int = 10, batch_size: int = 256,
-                      mask_train: bool = True) -> np.ndarray:
+                      mask_train: bool = True,
+                      permutation=None) -> np.ndarray:
     """Top-N recommended item ids per user under the all-item protocol.
 
     The batched counterpart of :meth:`Recommender.recommend`: one score
     matrix per block, training items masked via the shared CSR gather,
     and the per-row top N selected with :func:`top_k_indices`.  Returns
     an ``(len(users), top_n)`` int array, best item first.
+
+    When the model was trained on a reordered split, pass the
+    :class:`~repro.graph.reorder.NodePermutation` that produced it:
+    ``users`` is then taken in *original* ids (mapped to internal ids
+    before scoring) and the returned item ids are mapped back to
+    original ids — the permutation stays invisible at this boundary.
     """
     user_emb, item_emb = model.final_embeddings()
-    users = (split.test_users if users is None
-             else np.asarray(users, dtype=np.int64))
+    if users is None:
+        users = split.test_users  # already in the split's (internal) ids
+    else:
+        users = np.asarray(users, dtype=np.int64)
+        if permutation is not None:
+            users = permutation.map_users(users)
     train_matrix = split.train_matrix().tocsr()
     train_matrix.sort_indices()
     indptr, indices = train_matrix.indptr, train_matrix.indices
@@ -136,6 +147,8 @@ def full_ranking_topk(model, split: Split, users: Optional[np.ndarray] = None,
             _mask_train_items(scores, block_users, indptr, indices)
         top[start:start + len(block_users)] = top_k_indices(scores, top_n)
         arena.release(scores)
+    if permutation is not None:
+        top = permutation.original_items(top)
     return top
 
 

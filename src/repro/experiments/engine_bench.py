@@ -1,6 +1,6 @@
 """Propagation-engine benchmarks: backends, fused kernels, dtypes, threads.
 
-Nine sweeps, each answering one question about the engine's hot path:
+Ten sweeps, each answering one question about the engine's hot path:
 
 * :func:`run_engine_throughput` — DGNN epochs/sec per kernel backend
   (``naive`` loop oracle vs ``fast`` vectorized CSR vs ``threaded``
@@ -33,6 +33,14 @@ Nine sweeps, each answering one question about the engine's hot path:
   p50/p99 latency and recall@k against the exact arm.  At ``xlarge``
   the entry is timing-only (untrained embeddings carry no cluster
   structure for ANN recall to exploit).
+* :func:`run_locality_bench` — sweep 10, the cache-locality pass: node
+  reordering (identity / degree / RCM via :mod:`repro.graph.reorder`)
+  crossed with the flat-vs-cache-blocked spmm of
+  :mod:`repro.engine.locality`, recording composite-pass propagation
+  throughput (with roofline GFLOP/s / GB/s per arm), end-to-end epoch
+  rate and exact serving queries/sec — while asserting in-bench that
+  blocked results are bitwise equal to flat and that top-k id sets are
+  invariant under relabeling.
 * :func:`run_parallel_bench` — sweep 9, multi-process shared-memory
   training: epoch rate and fleet-wide peak PSS vs worker count for both
   ``hogwild`` and ``sync`` update modes, each arm in its own subprocess,
@@ -121,6 +129,7 @@ class EngineBenchResults:
     memory: Dict[str, object] = field(default_factory=dict)
     serving: Dict[str, object] = field(default_factory=dict)
     parallel: Dict[str, object] = field(default_factory=dict)
+    locality: Dict[str, object] = field(default_factory=dict)
     production_dtype: str = PRODUCTION_DTYPE
 
     @property
@@ -145,6 +154,8 @@ class EngineBenchResults:
         lines.append(header)
         lines.append("-" * len(header))
         for backend, stats in self.backends.items():
+            if backend == "host_env":
+                continue
             lines.append(
                 f"{backend:<10}{stats['epochs_per_sec']:>12.3f}"
                 f"{stats['seconds_per_epoch']:>10.3f}"
@@ -160,11 +171,13 @@ class EngineBenchResults:
                 f"{self.fused_speedup:.2f}x")
         if self.dtype_sweep:
             pieces = [f"{name} {stats['epochs_per_sec']:.2f} ep/s"
-                      for name, stats in self.dtype_sweep.items()]
+                      for name, stats in self.dtype_sweep.items()
+                      if name != "host_env"]
             lines.append("dtype sweep: " + ", ".join(pieces))
         if self.thread_sweep:
             pieces = [f"{workers}w {seconds*1e3:.2f} ms"
-                      for workers, seconds in self.thread_sweep.items()]
+                      for workers, seconds in self.thread_sweep.items()
+                      if workers not in ("peak_rss_mb", "host_env")]
             lines.append("threaded spmm: " + ", ".join(pieces))
         if self.minibatch:
             full = self.minibatch.get("full", {})
@@ -257,6 +270,28 @@ class EngineBenchResults:
                 f"speedup {self.parallel.get('best_speedup_at_max_workers', 0.0):.2f}x, "
                 f"PSS growth "
                 f"{self.parallel.get('pss_growth_at_max_workers', 0.0):.2f}x")
+        if self.locality:
+            lines.append(
+                f"locality (d={self.locality.get('embed_dim', 0)}, "
+                f"{self.locality.get('num_layers', 0)} layers):")
+            arms = self.locality.get("arms", {})
+            if isinstance(arms, dict):
+                for name in sorted(arms):
+                    stats = arms[name]
+                    if not isinstance(stats, dict):
+                        continue
+                    lines.append(
+                        f"  {name}: {stats.get('propagation_per_sec', 0.0):.1f} "
+                        f"passes/s ({stats.get('propagation_speedup_over_flat', 0.0):.2f}x "
+                        f"over identity_flat), "
+                        f"{stats.get('epochs_per_sec', 0.0):.3f} ep/s, "
+                        f"{stats.get('serving_queries_per_sec', 0.0):.0f} q/s")
+            best = self.locality.get("best")
+            if isinstance(best, dict):
+                lines.append(
+                    f"  best: {best.get('arm')} "
+                    f"{best.get('propagation_speedup_over_flat', 0.0):.2f}x "
+                    f"propagation over the flat identity oracle")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -274,6 +309,7 @@ class EngineBenchResults:
             "memory": self.memory,
             "serving": self.serving,
             "parallel": self.parallel,
+            "locality": self.locality,
         }
 
     def write_json(self, path: Path, preset: Optional[str] = None) -> Path:
@@ -359,6 +395,7 @@ def run_engine_throughput(
         }
         stats.update(history.total_kernel_counters())
         results.backends[backend] = stats
+    results.backends["host_env"] = _host_env()
     if output_path is not None:
         results.write_json(Path(output_path), preset=preset)
     return results
@@ -409,6 +446,7 @@ def run_memory_kernel_bench(
         "unfused_seconds": unfused,
         "fused_speedup": unfused / fused if fused > 0 else float("inf"),
         "peak_rss_mb": _peak_rss_mb(),
+        "host_env": _host_env(),
     }
 
 
@@ -453,6 +491,7 @@ def run_dtype_sweep(
                            default=0.0),
             "peak_rss_mb": _peak_rss_mb(),
         }
+    sweep["host_env"] = _host_env()
     return sweep
 
 
@@ -484,6 +523,7 @@ def run_thread_sweep(
             best = min(best, time.perf_counter() - start)
         sweep[str(count)] = best
     sweep["peak_rss_mb"] = _peak_rss_mb()
+    sweep["host_env"] = _host_env()
     return sweep
 
 
@@ -573,6 +613,7 @@ def run_minibatch_bench(
                     if timings["fast"] > 0 else float("inf")),
     }
     section["peak_rss_mb"] = {"value": _peak_rss_mb()}
+    section["host_env"] = _host_env()
     return section
 
 
@@ -693,6 +734,7 @@ def run_optimizer_bench(
                         else float("inf")),
         }
     section["peak_rss_mb"] = {"value": _peak_rss_mb()}
+    section["host_env"] = _host_env()
     return section
 
 
@@ -839,6 +881,7 @@ def run_memory_bench(
             max_rel = float("inf")
         section["max_rel_loss_diff"] = max_rel
         section["loss_parity_ok"] = bool(max_rel <= tol.grad_rtol)
+    section["host_env"] = _host_env()
     return section
 
 
@@ -848,6 +891,60 @@ def _host_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def _host_env() -> Dict[str, object]:
+    """Recording-host context stamped into every sweep section.
+
+    Timing numbers only mean something next to the host that produced
+    them: CPU budget, the BLAS/OMP thread caps in force, and the
+    numpy/scipy builds doing the work.  Thread variables report their
+    raw environment value (``None`` = unset, library default).
+    """
+    import platform
+
+    import scipy
+
+    return {
+        "host_cpus": _host_cpus(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "omp_num_threads": os.environ.get("OMP_NUM_THREADS"),
+        "openblas_num_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
+        "mkl_num_threads": os.environ.get("MKL_NUM_THREADS"),
+    }
+
+
+def _host_l3_mb() -> Optional[float]:
+    """Size of the host's last-level cache in MiB (``None`` if unknown).
+
+    The locality floor in ``check_regression.py`` only binds when a
+    sweep's embedding working set exceeds this — on hosts whose LLC
+    swallows the whole preset, every node ordering is equally hot and
+    the reordering claim has nothing to say.
+    """
+    base = Path("/sys/devices/system/cpu/cpu0/cache")
+    best_level, best_bytes = -1, None
+    try:
+        for entry in base.glob("index*"):
+            try:
+                level = int((entry / "level").read_text())
+                text = (entry / "size").read_text().strip().upper()
+            except (OSError, ValueError):
+                continue
+            units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+            scale = units.get(text[-1:], 1)
+            digits = text[:-1] if text[-1:] in units else text
+            if not digits.isdigit():
+                continue
+            if level > best_level:
+                best_level, best_bytes = level, int(digits) * scale
+    except OSError:  # pragma: no cover - sysfs unavailable
+        return None
+    if best_bytes is None:
+        return None
+    return best_bytes / 2 ** 20
 
 
 def _pss_mb(pid: int) -> float:
@@ -1071,6 +1168,7 @@ def run_parallel_bench(
     section["best_speedup_at_max_workers"] = best_speedup
     section["pss_growth_at_max_workers"] = worst_growth
     section["peak_rss_mb"] = _peak_rss_mb()
+    section["host_env"] = _host_env()
     return section
 
 
@@ -1082,6 +1180,372 @@ _PARALLEL_TUNED = {
     "large": dict(embed_dim=256, batch_size=512, batches_per_epoch=8,
                   fanout=5, worker_counts=(1, 2, 4)),
 }
+
+# Sweep-10 overrides per preset.  At ``large``, 512-dim tables put the
+# composite working set (~70 MB) past the L3 of most commodity hosts,
+# where the reordered+blocked floor binds; on recording hosts whose LLC
+# swallows it the section records that fact (``working_set_mb`` vs
+# ``host_l3_mb``) and check_regression skips the floor — every arm ties
+# inside a cache, and the sweep says so rather than manufacturing a
+# separation.  The DRAM-bound acceptance run lives at ``xlarge``
+# (timing-only, ~1 GB working set).  Other presets fall back to a cheap
+# smoke shape chosen at the call site.
+_LOCALITY_TUNED = {
+    "large": dict(embed_dim=512, repeats=5),
+}
+
+
+class _FixedEmbeddings:
+    """A minimal model stand-in: frozen tables + the graph they index.
+
+    The locality sweep's serving and top-k legs need *corresponding*
+    model state across arms — the same per-node vectors under every
+    relabeling — which training from scratch per arm cannot give (the
+    initializer streams rows in internal order).  Freezing one
+    original-id table set and permuting its rows into each arm's layout
+    isolates exactly the property under test: id layout, nothing else.
+    """
+
+    def __init__(self, user_emb: np.ndarray, item_emb: np.ndarray, graph):
+        self._user_emb = user_emb
+        self._item_emb = item_emb
+        self.graph = graph
+        self.name = "fixed-embeddings"
+
+    def final_embeddings(self):
+        return self._user_emb, self._item_emb
+
+
+def _propagation_pass(backend, graph, user_emb: np.ndarray,
+                      item_emb: np.ndarray, num_layers: int,
+                      buffers) -> "tuple":
+    """One composite heterogeneous propagation pass (the sweep workload).
+
+    Per layer: social joint × users + interaction joint × items feed the
+    next user table, and the transposed interaction joint × users feeds
+    the next item table — the three spmm shapes every layered model in
+    the repository streams.  The user-side sum is fused: the social
+    product lands in a user buffer and the interaction product
+    accumulates into it (``spmm(..., accumulate=True)``), which skips a
+    zeroing pass, a separate elementwise add, and a fresh allocation
+    per layer.  The two user buffers ping-pong across layers so the
+    write target never aliases the user table the same layer reads.
+    """
+    social = graph.user_social_joint
+    user_item = graph.user_item_joint
+    item_user = graph.item_user_joint
+    user_buf_a, user_buf_b, item_buf = buffers
+    users, items = user_emb, item_emb
+    for _ in range(num_layers):
+        target = user_buf_b if users is user_buf_a else user_buf_a
+        next_users = backend.spmm(social, users, out=target)
+        backend.spmm(user_item, items, out=target, accumulate=True)
+        items = backend.spmm(item_user, users, out=item_buf)
+        users = next_users
+    return users, items
+
+
+def run_locality_bench(
+        preset: str = "large",
+        embed_dim: int = 256,
+        num_layers: int = 2,
+        strategies: Sequence[str] = ("identity", "degree", "rcm"),
+        kernels: Sequence[str] = ("flat", "blocked"),
+        repeats: int = 7,
+        epochs: int = 2,
+        batches_per_epoch: int = 2,
+        batch_size: int = 1024,
+        num_queries: int = 2048,
+        serve_block_size: int = 512,
+        k: int = 20,
+        check_users: int = 64,
+        seed: int = 0,
+        timing_only: Optional[bool] = None) -> Dict[str, object]:
+    """Sweep 10 — node reordering × blocked-vs-flat spmm (cache locality).
+
+    Every (strategy, kernel) arm measures the same three things on the
+    same underlying data:
+
+    * **propagation throughput** — best-of-``repeats`` wall time of an
+      ``num_layers``-layer composite pass over the real normalized
+      joints (social × users, interactions × items accumulated into
+      the same user buffer, interactionsᵀ × users), the hot loop every
+      layered model runs per batch.  The recorded speedup-over-flat is
+      the *median of paired per-round ratios* (all arms run
+      interleaved, so each round's ratio cancels host drift);
+    * **end-to-end epoch rate** — a short full-propagation LightGCN
+      training run with ``TrainConfig.spmm_block`` matching the arm;
+    * **serving throughput** — the arm's snapshot (published through
+      the :class:`~repro.graph.reorder.NodePermutation` boundary, so
+      it is byte-identical across arms) driving exact batched
+      ``recommend`` requests.
+
+    In-bench invariants: every blocked arm's propagation output is
+    **bitwise identical** to its flat sibling, and every arm's top-k id
+    sets (mapped back to original ids) equal the identity arm's.  The
+    ``best`` summary reports the strongest reordered+blocked arm's
+    propagation speedup over the flat identity oracle — the number
+    ``check_regression.py`` holds to per-preset floors (1.25x at
+    ``large``, 1.10x at ``xlarge``) whenever the recorded
+    ``working_set_mb`` exceeds the recording host's ``host_l3_mb``
+    (cache-resident runs record the tie and skip the floor).  At
+    ``xlarge`` the sweep is timing-only: propagation arms only, no
+    training or serving legs.
+    """
+    from repro.data.sampling import build_eval_candidates
+    from repro.data.split import leave_last_out, leave_one_out
+    from repro.data.synthetic import PRESETS
+    from repro.engine import arena, get_backend
+    from repro.engine.locality import clear_block_cache, use_spmm_block
+    from repro.engine.precision import get_dtype
+    from repro.eval.full_ranking import full_ranking_topk
+    from repro.graph.hetero import CollaborativeHeteroGraph
+    from repro.graph.reorder import build_permutation
+    from repro.serve import EmbeddingSnapshot, RecommendService
+    from repro.train.config import TrainConfig
+
+    if timing_only is None:
+        timing_only = preset == "xlarge"
+    dataset = PRESETS[preset](seed)
+    if preset == "xlarge":
+        base_split = leave_last_out(dataset, max_test_users=2000, seed=seed)
+    else:
+        base_split = leave_one_out(dataset, seed=seed)
+    dtype = np.dtype(get_dtype())
+    rng = np.random.default_rng(seed)
+    orig_users = rng.standard_normal(
+        (dataset.num_users, embed_dim)).astype(dtype)
+    orig_items = rng.standard_normal(
+        (dataset.num_items, embed_dim)).astype(dtype)
+    query_rng = np.random.default_rng(seed + 1)
+    queries = query_rng.integers(0, dataset.num_users, size=num_queries,
+                                 dtype=np.int64)
+    check_ids = query_rng.choice(dataset.num_users,
+                                 size=min(check_users, dataset.num_users),
+                                 replace=False).astype(np.int64)
+
+    # The dense traffic one composite pass streams: the two embedding
+    # tables plus the three propagation buffers (two user-shaped, one
+    # item-shaped).  check_regression.py compares this against
+    # host_l3_mb to decide whether the speedup floor binds — reordering
+    # only pays once these tables spill out of the last cache level.
+    row_bytes = embed_dim * dtype.itemsize
+    working_set_mb = ((3 * dataset.num_users + 2 * dataset.num_items)
+                      * row_bytes) / 2 ** 20
+    section: Dict[str, object] = {
+        "embed_dim": int(embed_dim),
+        "num_layers": int(num_layers),
+        "repeats": int(repeats),
+        "timing_only": bool(timing_only),
+        "dtype": dtype.name,
+        "working_set_mb": working_set_mb,
+        "host_l3_mb": _host_l3_mb(),
+        "arms": {},
+    }
+    reference_topk: Optional[np.ndarray] = None
+    flat_reference: Dict[str, object] = {}
+
+    with use_backend("fast"):
+        backend = get_backend()
+        contexts: List[Dict[str, object]] = []
+        for strategy in strategies:
+            start = time.perf_counter()
+            permutation = build_permutation(dataset, strategy,
+                                            train_pairs=base_split.train_pairs)
+            split = (base_split if permutation.is_identity
+                     else permutation.permute_split(base_split))
+            reorder_seconds = time.perf_counter() - start
+            graph = CollaborativeHeteroGraph(split.dataset, split.train_pairs)
+            get_cache().clear()
+            user_emb = permutation.permute_user_rows(orig_users)
+            item_emb = permutation.permute_item_rows(orig_items)
+            buffers = (np.empty_like(user_emb), np.empty_like(user_emb),
+                       np.empty_like(item_emb))
+            # Normalize the joints outside the timed region — adjacency
+            # normalization is a one-time cost every arm shares (the
+            # joints live on the graph via cached_property, so they
+            # survive for the interleaved timing rounds below).
+            _propagation_pass(backend, graph, user_emb, item_emb, 1, buffers)
+
+            fixed = _FixedEmbeddings(user_emb, item_emb, graph)
+            arm_topk: Optional[np.ndarray] = None
+            topk_matches: Optional[bool] = None
+            if not timing_only:
+                arm_topk = full_ranking_topk(fixed, split, users=check_ids,
+                                             top_n=10,
+                                             permutation=permutation)
+                if reference_topk is None:
+                    reference_topk = arm_topk
+                    topk_matches = True
+                else:
+                    topk_matches = all(
+                        set(row) == set(ref) for row, ref
+                        in zip(arm_topk, reference_topk))
+            contexts.append(dict(
+                strategy=strategy, permutation=permutation, split=split,
+                graph=graph, user_emb=user_emb, item_emb=item_emb,
+                buffers=buffers, fixed=fixed,
+                reorder_seconds=reorder_seconds, topk_matches=topk_matches))
+
+        # First pass per arm, strategy-major: builds each blocked arm's
+        # block decompositions (kept cached for the timing rounds) and
+        # captures the outputs for the bitwise cross-check.
+        clear_block_cache()
+        arm_states: Dict[Tuple[str, str], Dict[str, object]] = {}
+        for ctx in contexts:
+            for kernel in kernels:
+                with use_spmm_block("auto" if kernel == "blocked" else 0):
+                    start = time.perf_counter()
+                    final = _propagation_pass(
+                        backend, ctx["graph"], ctx["user_emb"],
+                        ctx["item_emb"], num_layers, ctx["buffers"])
+                    first_pass_seconds = time.perf_counter() - start
+                arm_states[(ctx["strategy"], kernel)] = dict(
+                    ctx=ctx, kernel=kernel,
+                    final=(final[0].copy(), final[1].copy()),
+                    first_pass_seconds=first_pass_seconds,
+                    best=first_pass_seconds, counters={})
+
+        # Timing rounds are interleaved across ALL arms: every arm sees
+        # the same slice of whatever slow drift the host is under
+        # (clock, page placement, competing load), so the per-arm
+        # best-of ratios measure layout, not measurement order.
+        for _ in range(max(1, repeats)):
+            for state in arm_states.values():
+                ctx = state["ctx"]
+                with use_spmm_block(
+                        "auto" if state["kernel"] == "blocked" else 0):
+                    before = instrument.snapshot()
+                    start = time.perf_counter()
+                    _propagation_pass(backend, ctx["graph"], ctx["user_emb"],
+                                      ctx["item_emb"], num_layers,
+                                      ctx["buffers"])
+                    elapsed = time.perf_counter() - start
+                    after = instrument.snapshot()
+                state["best"] = min(state["best"], elapsed)
+                state.setdefault("rounds", []).append(elapsed)
+                for key, value in instrument.delta(before, after).items():
+                    state["counters"][key] = (
+                        state["counters"].get(key, 0.0) + value)
+
+        for (strategy, kernel), state in arm_states.items():
+            ctx = state["ctx"]
+            permutation = ctx["permutation"]
+            split = ctx["split"]
+            fixed = ctx["fixed"]
+            best = state["best"]
+            spmm_roofline = instrument.roofline(
+                state["counters"]).get("spmm", {})
+            stats: Dict[str, object] = {
+                "strategy": strategy,
+                "kernel": kernel,
+                "reorder_seconds": ctx["reorder_seconds"],
+                "propagation_seconds": best,
+                "propagation_per_sec": 1.0 / best if best > 0 else 0.0,
+                "round_seconds": [round(value, 6)
+                                  for value in state.get("rounds", [])],
+                "first_pass_seconds": state["first_pass_seconds"],
+                "spmm_gflops_per_sec": spmm_roofline.get(
+                    "gflops_per_sec", 0.0),
+                "spmm_gbytes_per_sec": spmm_roofline.get(
+                    "gbytes_per_sec", 0.0),
+                "spmm_flops_per_byte": spmm_roofline.get(
+                    "flops_per_byte", 0.0),
+            }
+            final = state["final"]
+            if kernel == "flat":
+                flat_reference[strategy] = final
+            else:
+                reference = flat_reference.get(strategy)
+                stats["blocked_bitwise_ok"] = bool(
+                    reference is not None
+                    and np.array_equal(final[0], reference[0])
+                    and np.array_equal(final[1], reference[1]))
+            if ctx["topk_matches"] is not None:
+                stats["topk_matches_identity"] = bool(ctx["topk_matches"])
+
+            if not timing_only:
+                config = TrainConfig(
+                    epochs=epochs, batch_size=batch_size,
+                    batches_per_epoch=batches_per_epoch,
+                    propagation="full", eval_every=max(epochs, 1),
+                    patience=None, seed=seed,
+                    reorder=strategy,
+                    spmm_block=(1 if kernel == "blocked" else 0))
+                train_graph = CollaborativeHeteroGraph(split.dataset,
+                                                       split.train_pairs)
+                get_cache().clear()
+                candidates = build_eval_candidates(split,
+                                                   num_negatives=50,
+                                                   seed=seed)
+                model = create_model("lightgcn", train_graph,
+                                     embed_dim=embed_dim, seed=seed,
+                                     num_layers=num_layers)
+                history = Trainer(model, split, config, candidates).fit()
+                epoch_seconds = min(history.train_seconds)
+                stats["seconds_per_epoch"] = epoch_seconds
+                stats["epochs_per_sec"] = (1.0 / epoch_seconds
+                                           if epoch_seconds > 0 else 0.0)
+
+                snapshot = EmbeddingSnapshot.from_model(
+                    fixed, split, permutation=permutation)
+                service = RecommendService(snapshot,
+                                           retrieval="exact",
+                                           block_size=serve_block_size,
+                                           seed=seed)
+                blocks = [queries[s:s + serve_block_size]
+                          for s in range(0, num_queries, serve_block_size)]
+                service.recommend(blocks[0], k)  # warm-up
+                block_seconds = []
+                with arena.step_scope():
+                    for block in blocks:
+                        best_block = float("inf")
+                        for _ in range(2):
+                            start = time.perf_counter()
+                            service.recommend(block, k)
+                            best_block = min(
+                                best_block, time.perf_counter() - start)
+                        block_seconds.append(best_block)
+                total = float(sum(block_seconds))
+                stats["serving_queries_per_sec"] = (
+                    num_queries / total if total > 0 else 0.0)
+            section["arms"][f"{strategy}_{kernel}"] = stats
+
+    arms = section["arms"]
+    oracle = arms.get("identity_flat", {})
+    oracle_seconds = float(oracle.get("propagation_seconds", 0.0))
+    oracle_rounds = list(oracle.get("round_seconds", []))
+    best_arm: Optional[str] = None
+    best_speedup = 0.0
+    for name, stats in arms.items():
+        rounds = list(stats.get("round_seconds", []))
+        if oracle_rounds and len(rounds) == len(oracle_rounds):
+            # Paired per-round ratio: round r of every arm ran adjacent
+            # in time (the interleaved loop above), so dividing within
+            # a round cancels whatever slow drift the host was under.
+            # The median over rounds is then a drift-robust estimate of
+            # the layout effect, where a ratio of independent best-of
+            # minima would inherit the worst single-round noise of
+            # either side.
+            ratios = sorted(o / r for o, r
+                            in zip(oracle_rounds, rounds) if r > 0)
+            speedup = (float(np.median(ratios)) if ratios else 0.0)
+        else:
+            seconds = float(stats.get("propagation_seconds", 0.0))
+            speedup = oracle_seconds / seconds if seconds > 0 else 0.0
+        stats["propagation_speedup_over_flat"] = speedup
+        if (stats.get("strategy") != "identity"
+                and stats.get("kernel") == "blocked"
+                and speedup > best_speedup):
+            best_arm, best_speedup = name, speedup
+    if best_arm is not None:
+        section["best"] = {
+            "arm": best_arm,
+            "propagation_speedup_over_flat": best_speedup,
+        }
+    section["peak_rss_mb"] = _peak_rss_mb()
+    section["host_env"] = _host_env()
+    return section
 
 
 def merge_preset_section(path: Path, preset: str, name: str,
@@ -1299,6 +1763,7 @@ def run_serving_bench(
             "recall_at_k": stats.get("recall_at_k", 0.0),
         }
     section["peak_rss_mb"] = _peak_rss_mb()
+    section["host_env"] = _host_env()
     return section
 
 
@@ -1317,6 +1782,7 @@ def run_engine_suite(
         serving: bool = True,
         serving_train_epochs: Optional[int] = None,
         parallel: bool = True,
+        locality: bool = True,
         output_path: Optional[Path] = None) -> EngineBenchResults:
     """All engine sweeps on one shared context; optionally persisted.
 
@@ -1329,7 +1795,9 @@ def run_engine_suite(
     training run at ``large`` (ANN recall needs trained structure) and
     none at the smoke presets.  ``parallel`` controls sweep 9 (worker
     subprocess arms; skipped at ``xlarge``, where a per-arm training run
-    would take hours).
+    would take hours).  ``locality`` controls sweep 10 (reorder ×
+    blocked-spmm arms; full legs at the standard presets, a timing-only
+    propagation leg at ``xlarge``).
     """
     if memory is None:
         memory = preset in ("large", "xlarge")
@@ -1346,6 +1814,13 @@ def run_engine_suite(
             with use_dtype(dtype):
                 results.serving = run_serving_bench(
                     preset=preset, num_queries=1024, seed=seed)
+        if locality:
+            # 128-dim tables put the composite working set (~1 GB) past
+            # any realistic LLC, so this is the DRAM-bound section whose
+            # reordered+blocked floor check_regression enforces.
+            with use_dtype(dtype):
+                results.locality = run_locality_bench(
+                    preset=preset, embed_dim=128, repeats=5, seed=seed)
         if output_path is not None:
             results.write_json(Path(output_path), preset=preset)
         return results
@@ -1382,6 +1857,13 @@ def run_engine_suite(
         results.parallel = run_parallel_bench(
             preset=preset, seed=seed, dtype=dtype,
             **_PARALLEL_TUNED.get(preset, {}))
+    if locality:
+        with use_dtype(dtype):
+            results.locality = run_locality_bench(
+                preset=preset, seed=seed,
+                **_LOCALITY_TUNED.get(preset,
+                                      dict(embed_dim=64, repeats=3,
+                                           num_queries=1024)))
     if output_path is not None:
         results.write_json(Path(output_path), preset=preset)
     return results

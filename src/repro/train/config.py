@@ -35,6 +35,8 @@ class TrainConfig:
     arena: Optional[bool] = None  # None -> REPRO_ENGINE_ARENA env (default on)
     workers: Optional[int] = None  # None -> REPRO_WORKERS env (default 0 = single-process)
     parallel_mode: Optional[str] = None  # None -> REPRO_PARALLEL_MODE env (default "hogwild")
+    reorder: Optional[str] = None  # None -> REPRO_REORDER env (default "identity")
+    spmm_block: Optional[int] = None  # None -> engine setting; 0 off, 1 auto, else bytes
     eval_every: int = 1
     eval_ks: Tuple[int, ...] = (5, 10, 20)
     early_stopping_metric: str = "hr@10"
@@ -69,6 +71,13 @@ class TrainConfig:
                 and self.parallel_mode not in _PARALLEL_MODES):
             raise ValueError(
                 f"parallel_mode must be one of {_PARALLEL_MODES}")
+        if self.reorder is not None:
+            from repro.graph.reorder import REORDER_STRATEGIES
+            if self.reorder not in REORDER_STRATEGIES:
+                raise ValueError(
+                    f"reorder must be one of {REORDER_STRATEGIES}")
+        if self.spmm_block is not None and self.spmm_block < 0:
+            raise ValueError("spmm_block must be >= 0 (0 = flat kernels)")
 
     def resolved_sparse_grads(self) -> bool:
         """Whether this run produces row-sparse embedding gradients.
@@ -132,6 +141,41 @@ class TrainConfig:
                 f"REPRO_PARALLEL_MODE must be one of {_PARALLEL_MODES}, "
                 f"got {env!r}")
         return mode
+
+    def resolved_reorder(self) -> str:
+        """Node-reordering strategy: explicit setting, else ``REPRO_REORDER``.
+
+        ``"identity"`` (the default) keeps original ids and is the parity
+        oracle; ``"degree"`` and ``"rcm"`` permute node ids at load time
+        behind a :class:`~repro.graph.reorder.NodePermutation` boundary
+        so every external output stays in original ids.
+        """
+        from repro.graph.reorder import REORDER_STRATEGIES
+        if self.reorder is not None:
+            return self.reorder
+        env = os.environ.get("REPRO_REORDER")
+        if env is None:
+            return "identity"
+        strategy = env.strip().lower()
+        if strategy not in REORDER_STRATEGIES:
+            raise ValueError(
+                f"REPRO_REORDER must be one of {REORDER_STRATEGIES}, "
+                f"got {env!r}")
+        return strategy
+
+    def resolved_spmm_block(self):
+        """Blocked-spmm byte budget for this run (``None`` = flat kernels).
+
+        An explicit ``spmm_block`` goes through
+        :func:`repro.engine.locality.parse_block_setting` (``0`` off,
+        ``1`` the auto per-call budget, else bytes); otherwise the
+        engine-wide setting (``REPRO_ENGINE_SPMM_BLOCK`` /
+        :func:`~repro.engine.locality.set_spmm_block`) applies.
+        """
+        from repro.engine import locality
+        if self.spmm_block is not None:
+            return locality.parse_block_setting(self.spmm_block)
+        return locality.get_spmm_block()
 
 
 @dataclass

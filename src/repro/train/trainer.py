@@ -26,8 +26,8 @@ stream is identical either way), and the multi-process
 :class:`~repro.train.parallel.ParallelTrainer` holds a 1-worker run
 bitwise-identical to this class.  Environment-resolved knobs
 (``REPRO_PREFETCH``, ``REPRO_ENGINE_ARENA``, ``REPRO_WORKERS``,
-``REPRO_PARALLEL_MODE``) are documented field-by-field in
-``docs/operations.md``.
+``REPRO_PARALLEL_MODE``, ``REPRO_ENGINE_SPMM_BLOCK``, ``REPRO_REORDER``)
+are documented field-by-field in ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +43,7 @@ from repro.data.sampling import BprSampler, EvalCandidates, build_eval_candidate
 from repro.data.split import Split
 from repro.engine import arena
 from repro.engine import instrument
+from repro.engine import locality
 from repro.eval.protocol import evaluate_model
 from repro.models.base import Recommender
 from repro.nn.optim import SGD, Adam, clip_grad_norm
@@ -255,7 +256,12 @@ class Trainer:
         stopper = EarlyStopping(metric=config.early_stopping_metric,
                                 patience=config.patience)
         batches = config.batches_per_epoch or self.sampler.batches_for_full_epoch()
+        block_scope = locality.use_spmm_block(config.resolved_spmm_block())
 
+        with block_scope:
+            return self._fit_loop(config, history, stopper, batches)
+
+    def _fit_loop(self, config, history, stopper, batches) -> TrainingHistory:
         for epoch in range(config.epochs):
             start = time.perf_counter()
             self.model.train()

@@ -341,3 +341,101 @@ def test_compare_skips_empty_parallel_section():
     fresh = json.loads(json.dumps(baseline))
     fresh["presets"]["large"]["parallel"] = {}
     assert check_regression.compare(baseline, fresh) == []
+
+
+def _baseline_with_locality(speedup=1.4, bitwise=True, topk=True,
+                            preset="large", working_set_mb=128.0,
+                            host_l3_mb=32.0):
+    return {"presets": {preset: {
+        "backends": {"fast": {"epochs_per_sec": 100.0}},
+        "locality": {
+            "embed_dim": 256,
+            "working_set_mb": working_set_mb,
+            "host_l3_mb": host_l3_mb,
+            "arms": {
+                "identity_flat": {"propagation_per_sec": 10.0,
+                                  "epochs_per_sec": 1.0,
+                                  "serving_queries_per_sec": 5000.0,
+                                  "topk_matches_identity": True,
+                                  "propagation_speedup_over_flat": 1.0},
+                "rcm_blocked": {"propagation_per_sec": 10.0 * speedup,
+                                "epochs_per_sec": 1.1,
+                                "serving_queries_per_sec": 5100.0,
+                                "blocked_bitwise_ok": bitwise,
+                                "topk_matches_identity": topk,
+                                "propagation_speedup_over_flat": speedup},
+            },
+            "best": {"arm": "rcm_blocked",
+                     "propagation_speedup_over_flat": speedup},
+        },
+    }}}
+
+
+def test_compare_flags_locality_throughput_regression():
+    baseline = _baseline_with_locality()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["locality"]["arms"]["identity_flat"][
+        "propagation_per_sec"] = 4.0
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("locality/identity_flat" in p for p in problems)
+
+
+def test_compare_enforces_locality_speedup_floor_on_large():
+    problems = check_regression.compare(_baseline_with_locality(speedup=1.4),
+                                        _baseline_with_locality(speedup=1.1))
+    assert problems and any("flat identity oracle" in p and "floor" in p
+                            for p in problems)
+    # The floor binds the committed baseline too.
+    problems = check_regression.compare(_baseline_with_locality(speedup=1.1),
+                                        _baseline_with_locality(speedup=1.4))
+    assert problems and any("baseline" in p and "floor" in p
+                            for p in problems)
+
+
+def test_compare_locality_floor_only_applies_to_floor_presets():
+    weak = _baseline_with_locality(speedup=1.05, preset="tiny")
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+    weak = _baseline_with_locality(speedup=1.05, preset="xlarge")
+    problems = check_regression.compare(weak, json.loads(json.dumps(weak)))
+    assert problems and any("floor" in p for p in problems)
+
+
+def test_compare_locality_floor_skipped_when_cache_resident():
+    # Working set fits inside the recording host's L3: every ordering is
+    # equally hot, so the speedup floor must not bind.
+    weak = _baseline_with_locality(speedup=1.05, working_set_mb=128.0,
+                                   host_l3_mb=260.0)
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_locality_floor_skipped_when_l3_unknown():
+    weak = _baseline_with_locality(speedup=1.05, host_l3_mb=None)
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_flags_locality_bitwise_failure():
+    bad = _baseline_with_locality(bitwise=False)
+    problems = check_regression.compare(_baseline_with_locality(), bad)
+    assert problems and any("bitwise" in p for p in problems)
+
+
+def test_compare_flags_locality_topk_invariance_failure():
+    bad = _baseline_with_locality(topk=False)
+    problems = check_regression.compare(_baseline_with_locality(), bad)
+    assert problems and any("relabeling" in p for p in problems)
+
+
+def test_compare_reports_missing_locality_section():
+    baseline = _baseline_with_locality()
+    fresh = {"presets": {"large": {
+        "backends": {"fast": {"epochs_per_sec": 100.0}}}}}
+    problems = check_regression.compare(baseline, fresh)
+    assert any("expected section 'locality' is missing" in p
+               for p in problems)
+
+
+def test_compare_skips_empty_locality_section():
+    baseline = _baseline_with_locality()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["locality"] = {}
+    assert check_regression.compare(baseline, fresh) == []

@@ -29,8 +29,12 @@ def test_engine_throughput_smoke(tmp_path):
         preset="tiny", epochs=1, batches_per_epoch=2, batch_size=128,
         embed_dim=8, num_layers=1, output_path=output)
 
-    assert set(results.backends) == {"naive", "fast", "threaded"}
-    for stats in results.backends.values():
+    # Every sweep section carries the recording host context alongside
+    # its per-backend stats.
+    assert set(results.backends) == {"naive", "fast", "threaded", "host_env"}
+    assert "numpy" in results.backends["host_env"]
+    for name in ("naive", "fast", "threaded"):
+        stats = results.backends[name]
         assert stats["epochs_per_sec"] > 0
         assert stats["calls.spmm"] > 0
         assert stats["calls.memory_mixture"] > 0
@@ -95,7 +99,8 @@ def test_minibatch_bench_smoke(tmp_path):
         preset="tiny", epochs=1, batches_per_epoch=2, batch_size=128,
         embed_dim=8, num_layers=1, fanouts=(5,), expand_repeats=1)
 
-    assert set(section) == {"full", "fanout_5", "expand", "peak_rss_mb"}
+    assert set(section) == {"full", "fanout_5", "expand", "peak_rss_mb",
+                            "host_env"}
     assert section["full"]["epochs_per_sec"] > 0
     assert section["fanout_5"]["epochs_per_sec"] > 0
     assert section["fanout_5"]["speedup_over_full"] > 0
