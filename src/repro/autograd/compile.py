@@ -1,0 +1,1056 @@
+"""Step compiler: tape capture and arena-planned replay of training steps.
+
+Every eager training step rebuilds the same autograd graph from Python
+closures — per-op ``Tensor._make`` calls, a DFS topological sort, arena
+free-list lookups for every temporary, and a ``_grad_copy`` for every
+first gradient write.  For a fixed :class:`~repro.train.config.
+TrainConfig` the tape's topology, shapes, and dtypes are identical step
+to step, so all of that is pure interpreter overhead.
+
+This module removes it in three layers, each independently toggleable
+via :class:`PlanOptions` and each bitwise-identical to eager:
+
+* **Tape capture** — :class:`TapeRecorder` observes one eager step
+  through the :mod:`repro.autograd.trace` hooks and
+  :class:`StepPlan` compiles the recorded op graph into two flat
+  closure lists (forward schedule in execution order, backward schedule
+  in the exact reversed topological order eager's ``backward()`` walks)
+  that :meth:`StepPlan.replay` runs with no Tensor construction, no
+  topo sort, and no backward-closure allocation.
+* **Elementwise fusion** (``fuse``) — the BPR loss tail
+  ``sub → neg → softplus → neg → mean → neg`` collapses into the fused
+  ``bpr_tail`` / ``bpr_tail_backward`` kernels of
+  :mod:`repro.engine.backends` (one pass instead of six, the
+  ``sigmoid·(1−sigmoid)``-family backward folded into a single stable
+  sigmoid).
+* **Arena slot planning** (``arena``) — every temporary gets a fixed
+  slot in a :class:`~repro.engine.arena.PlannedArena` reserved at plan
+  build, so replay does zero ``(shape, dtype)`` free-list lookups;
+  ``arena=False`` allocates every slot fresh per replay as the A/B
+  oracle.  **Dead-branch pruning + in-place accumulation** (``prune``)
+  — backward contributions whose gradient reaches no leaf are dropped
+  and first gradient writes go straight into the slot (``out=``)
+  instead of compute-then-``_grad_copy``; ``prune=False`` mimics the
+  eager closures' dead computes and copies exactly.
+
+:class:`CompiledStepper` wraps a model's BPR step: it records a plan
+per input-shape signature (so the ragged last batch of an epoch simply
+records a second plan), replays on signature hits, and permanently
+falls back to eager — with a recorded reason — when the tape is not
+replayable (row-sparse leaf gradients, data-dependent constants) or
+when signatures churn without repeating (per-batch minibatch
+subgraphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import trace
+from repro.autograd.tensor import Tensor
+from repro.engine import arena as arena_mod
+from repro.engine.adjcache import cached_transpose
+from repro.engine.arena import PlannedArena
+from repro.engine.backends import get_backend
+from repro.engine.stable_math import stable_sigmoid, stable_softplus
+
+__all__ = ["TapeRecorder", "TapeEntry", "PlanOptions", "PlanUnsupported",
+           "StepPlan", "CompiledStepper"]
+
+
+class PlanUnsupported(RuntimeError):
+    """The recorded tape cannot be replayed; callers stay eager."""
+
+
+class TapeEntry:
+    """One recorded op: kind, output tensor, parents, static arguments."""
+
+    __slots__ = ("name", "out", "inputs", "static")
+
+    def __init__(self, name: str, out: Tensor, inputs: Sequence[Tensor],
+                 static: dict):
+        self.name = name
+        self.out = out
+        self.inputs = tuple(inputs)
+        self.static = static
+
+    def __repr__(self) -> str:
+        return f"TapeEntry({self.name}, out={self.out.shape})"
+
+
+class TapeRecorder:
+    """Collects :class:`TapeEntry` records during one traced eager step."""
+
+    def __init__(self):
+        self.entries: List[TapeEntry] = []
+        self.unsupported: Optional[str] = None
+
+    def record(self, name: str, out: Tensor, inputs: Sequence[Tensor],
+               static: dict) -> None:
+        self.entries.append(TapeEntry(name, out, inputs, static))
+
+    def mark_unsupported(self, reason: str) -> None:
+        if self.unsupported is None:
+            self.unsupported = str(reason)
+
+
+@dataclass
+class PlanOptions:
+    """Independent toggles for the three plan optimizations.
+
+    Each ``False`` selects the eager-mimicking oracle path for that
+    layer; all eight combinations are bitwise-identical.
+    """
+
+    fuse: bool = True    # collapse the BPR tail into fused kernels
+    arena: bool = True   # fixed PlannedArena slots (False: fresh per replay)
+    prune: bool = True   # drop dead grads + write first grads in place
+
+
+_INIT, _ACCUM, _DEAD = 0, 1, 2
+
+_BPR_CHAIN = ("neg", "softplus", "neg", "mean", "neg")
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Identical to the ops-module helper (kept in sync for parity)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _fuse_bpr_tail(entries: List[TapeEntry]):
+    """Replace each BPR-tail chain with one fused ``bpr_tail`` entry.
+
+    Matches ``sub → neg → softplus → neg → mean(None) → neg`` where
+    every intermediate has exactly one consumer; returns the rewritten
+    entry list plus the set of tensor ids that became fused-internal
+    (excluded from slots and from the backward walk).
+    """
+    consumers: Dict[int, List[int]] = {}
+    for position, entry in enumerate(entries):
+        for tensor in entry.inputs:
+            consumers.setdefault(id(tensor), []).append(position)
+    by_out = {id(entry.out): position
+              for position, entry in enumerate(entries)}
+    dropped: set = set()
+    replacements: Dict[int, TapeEntry] = {}
+    internal: set = set()
+    for position, entry in enumerate(entries):
+        if entry.name != "sub" or position in dropped:
+            continue
+        chain = [position]
+        current = entry
+        matched = True
+        for expected in _BPR_CHAIN:
+            users = consumers.get(id(current.out), [])
+            if len(users) != 1:
+                matched = False
+                break
+            nxt = entries[users[0]]
+            if (nxt.name != expected or len(nxt.inputs) != 1
+                    or nxt.inputs[0] is not current.out):
+                matched = False
+                break
+            if expected == "mean" and (nxt.static.get("axis") is not None
+                                       or nxt.static.get("keepdims")):
+                matched = False
+                break
+            chain.append(users[0])
+            current = nxt
+        if not matched:
+            continue
+        mean_entry = entries[chain[-2]]
+        fused = TapeEntry("bpr_tail", current.out, entry.inputs,
+                          {"count": mean_entry.static["count"]})
+        replacements[position] = fused
+        dropped.update(chain[1:])
+        internal.update(id(entries[i].out) for i in chain[:-1])
+    if not replacements:
+        return entries, internal, 0
+    rewritten = []
+    for position, entry in enumerate(entries):
+        if position in dropped:
+            continue
+        rewritten.append(replacements.get(position, entry))
+    return rewritten, internal, len(replacements)
+
+
+class StepPlan:
+    """A compiled, replayable schedule for one recorded training step."""
+
+    def __init__(self, recorder: TapeRecorder, loss: Tensor,
+                 step_inputs: Sequence[np.ndarray], param_ids: set,
+                 options: PlanOptions):
+        if recorder.unsupported is not None:
+            raise PlanUnsupported(recorder.unsupported)
+        if not recorder.entries:
+            raise PlanUnsupported("empty tape (nothing was recorded)")
+        self.options = options
+        self.replays = 0
+        self._step_inputs = [np.asarray(x) for x in step_inputs]
+
+        entries = list(recorder.entries)
+        fused_internal: set = set()
+        fused_count = 0
+        if options.fuse:
+            entries, fused_internal, fused_count = _fuse_bpr_tail(entries)
+        self._entries = entries
+        self._fused_internal = fused_internal
+
+        # -- node table ------------------------------------------------
+        self._idx: Dict[int, int] = {}
+        self._nodes: List[Tensor] = []
+        self._producer: Dict[int, TapeEntry] = {}
+        self._leaves: List[Tuple[int, Tensor]] = []
+        self.V: List[Optional[np.ndarray]] = []
+        self.G: List[Optional[np.ndarray]] = []
+        self.S: List[Optional[np.ndarray]] = []
+        self.B: List[Optional[np.ndarray]] = []
+        self._bind_specs: List[Tuple[int, np.dtype]] = []
+        self._bind_of: Dict[Tuple[int, str], int] = {}
+        self._arena = PlannedArena()
+        self._slot_map: List[Tuple[list, int, int]] = []
+        self._scratch_shapes: List[Tuple[Tuple[int, ...], np.dtype]] = []
+
+        for entry in entries:
+            for tensor in entry.inputs:
+                self._intern_input(tensor, param_ids)
+            if id(entry.out) in self._idx:
+                raise PlanUnsupported(
+                    f"op output recorded twice ({entry.name})")
+            out_i = self._intern(entry.out)
+            self._producer[id(entry.out)] = entry
+            if entry.name not in ("reshape", "transpose"):
+                # reshape/transpose outputs are views rebuilt per replay;
+                # everything else gets a fixed slot.
+                self._reserve(self.V, out_i, entry.out.shape,
+                              entry.out.data.dtype)
+
+        if id(loss) not in self._idx:
+            raise PlanUnsupported("loss tensor was not recorded")
+        self._loss_i = self._idx[id(loss)]
+
+        # -- forward schedule ------------------------------------------
+        self._forward: List[Callable[[], None]] = []
+        for entry in entries:
+            self._forward.append(self._build_forward(entry))
+
+        # -- backward schedule -----------------------------------------
+        topo = [node for node in loss._topological_order()
+                if id(node) not in fused_internal]
+        for node in topo:
+            if id(node) not in self._idx:
+                raise PlanUnsupported(
+                    "graph node produced outside the tape")
+        self._backward: List[Callable[[], None]] = []
+        self._has_grad: set = set()
+        self._dead_skipped = 0
+        self._inplace_inits = 0
+        self._ensure_grad(self._loss_i, loss.shape, loss.data.dtype)
+        self._has_grad.add(self._loss_i)
+        steps_emitted = 0
+        for node in reversed(topo):
+            node_i = self._idx[id(node)]
+            if node_i not in self._has_grad:
+                continue  # mirrors eager's ``node.grad is not None`` skip
+            entry = self._producer.get(id(node))
+            if entry is None:
+                continue  # leaf — mirrors ``node._backward is None``
+            before = len(self._backward)
+            self._build_backward(entry)
+            steps_emitted += int(len(self._backward) > before)
+
+        self._param_grads: List[Tuple[Tensor, int]] = [
+            (tensor, node_i) for node_i, tensor in self._leaves
+            if node_i in self._has_grad]
+
+        # -- buffers ---------------------------------------------------
+        if options.arena:
+            views = self._arena.materialize()
+            for lst, index, slot in self._slot_map:
+                lst[index] = views[slot]
+
+        arena_stats = self._arena.stats()
+        self.stats = {
+            "entries": len(entries),
+            "forward_ops": len(self._forward),
+            "backward_steps": len(self._backward),
+            "nodes": len(self._nodes),
+            "params": len(self._param_grads),
+            "bound_inputs": len(self._bind_specs),
+            "fused": fused_count,
+            "dead_contributions": self._dead_skipped,
+            "inplace_inits": self._inplace_inits,
+            "slots": arena_stats["slots"],
+            "planned_bytes": arena_stats["planned_bytes"],
+        }
+
+    # -- node bookkeeping ---------------------------------------------
+    def _intern(self, tensor: Tensor) -> int:
+        index = len(self._nodes)
+        self._idx[id(tensor)] = index
+        self._nodes.append(tensor)
+        self.V.append(None)
+        self.G.append(None)
+        return index
+
+    def _intern_input(self, tensor: Tensor, param_ids: set) -> None:
+        if id(tensor) in self._idx:
+            return
+        if tensor._parents or tensor._backward is not None:
+            raise PlanUnsupported("op input produced outside the tape")
+        index = self._intern(tensor)
+        if tensor.requires_grad:
+            if id(tensor) not in param_ids:
+                raise PlanUnsupported(
+                    "requires-grad leaf is not a model parameter")
+            self._leaves.append((index, tensor))
+        else:
+            # Constants are baked by value: the recording step's arrays
+            # may be arena buffers that get recycled at scope exit.
+            self.V[index] = np.array(tensor.data, copy=True)
+
+    def _reserve(self, lst: list, index: int, shape, dtype) -> int:
+        slot = self._arena.reserve(shape, dtype)
+        self._slot_map.append((lst, index, slot))
+        return slot
+
+    def _scratch(self, shape, dtype) -> int:
+        index = len(self.S)
+        self.S.append(None)
+        self._reserve(self.S, index, shape, dtype)
+        return index
+
+    def _ensure_grad(self, node_i: int, shape, dtype) -> None:
+        if self.G[node_i] is None and not any(
+                lst is self.G and index == node_i
+                for lst, index, _ in self._slot_map):
+            self._reserve(self.G, node_i, shape, dtype)
+
+    def _bind(self, value):
+        """An accessor for a recorded static index array.
+
+        Arrays that match one of the step inputs by value are rebound
+        per replay (converted to the recorded dtype, exactly as
+        ``as_index_array`` would); anything else is baked as recorded.
+        """
+        if isinstance(value, np.ndarray) and value.ndim >= 1:
+            for position, raw in enumerate(self._step_inputs):
+                if raw.shape == value.shape and np.array_equal(raw, value):
+                    key = (position, value.dtype.str)
+                    slot = self._bind_of.get(key)
+                    if slot is None:
+                        slot = len(self._bind_specs)
+                        self._bind_specs.append((position, value.dtype))
+                        self.B.append(None)
+                        self._bind_of[key] = slot
+                    B = self.B
+                    return lambda: B[slot]
+        return lambda: value
+
+    # -- forward builders ---------------------------------------------
+    def _build_forward(self, entry: TapeEntry) -> Callable[[], None]:
+        V = self.V
+        name = entry.name
+        static = entry.static
+        o = self._idx[id(entry.out)]
+        ii = [self._idx[id(t)] for t in entry.inputs]
+
+        if name in ("add", "sub", "mul", "div"):
+            ufunc = {"add": np.add, "sub": np.subtract, "mul": np.multiply,
+                     "div": np.divide}[name]
+            a, b = ii
+            return lambda: ufunc(V[a], V[b], out=V[o])
+        if name == "neg":
+            a, = ii
+            return lambda: np.negative(V[a], out=V[o])
+        if name == "power":
+            a, = ii
+            exponent = static["exponent"]
+            return lambda: np.power(V[a], exponent, out=V[o])
+        if name == "matmul":
+            a, b = ii
+            a_nd = len(entry.inputs[0].shape)
+            b_nd = len(entry.inputs[1].shape)
+            if a_nd == 2 and b_nd == 2:
+                return lambda: np.matmul(V[a], V[b], out=V[o])
+
+            def matmul_small():
+                V[o][...] = V[a] @ V[b]
+            return matmul_small
+        if name == "spmm":
+            a, = ii
+            matrix = static["matrix"]
+            return lambda: get_backend().spmm(matrix, V[a], out=V[o])
+        if name == "reshape":
+            a, = ii
+            shape = static["shape"]
+
+            def reshape_view():
+                V[o] = V[a].reshape(shape)
+            return reshape_view
+        if name == "transpose":
+            a, = ii
+            axes = static["axes"]
+
+            def transpose_view():
+                V[o] = V[a].transpose(axes)
+            return transpose_view
+        if name == "cat":
+            axis = static["axis"]
+            parts = list(ii)
+            return lambda: np.concatenate([V[i] for i in parts],
+                                          axis=axis, out=V[o])
+        if name == "stack":
+            axis = static["axis"]
+            parts = list(ii)
+            return lambda: np.stack([V[i] for i in parts],
+                                    axis=axis, out=V[o])
+        if name == "getitem":
+            a, = ii
+            index = static["index"]
+            get_index = self._bind(index)
+            if (isinstance(index, np.ndarray) and index.ndim == 1
+                    and index.dtype.kind in "iu"):
+                return lambda: np.take(V[a], get_index(), axis=0, out=V[o])
+
+            def getitem_general():
+                V[o][...] = V[a][get_index()]
+            return getitem_general
+        if name == "gather_rows":
+            a, = ii
+            get_index = self._bind(static["indices"])
+            return lambda: get_backend().gather_rows(V[a], get_index(),
+                                                     out=V[o])
+        if name == "gathered_rowwise_dot":
+            a, b = ii
+            get_ai = self._bind(static["a_indices"])
+            get_bi = self._bind(static["b_indices"])
+
+            def grd_forward():
+                np.copyto(V[o], get_backend().gathered_rowwise_dot(
+                    V[a], get_ai(), V[b], get_bi()))
+            return grd_forward
+        if name == "segment_sum":
+            a, = ii
+            get_ids = self._bind(static["segment_ids"])
+            num_segments = static["num_segments"]
+
+            def segsum_forward():
+                np.copyto(V[o], get_backend().segment_sum(
+                    V[a], get_ids(), num_segments))
+            return segsum_forward
+        if name == "memory_mixture":
+            e, g, t = ii
+            return lambda: get_backend().memory_mixture(V[e], V[g], V[t],
+                                                        out=V[o])
+        if name in ("sum", "mean"):
+            a, = ii
+            axis = static["axis"]
+            keepdims = static["keepdims"]
+            reducer = np.sum if name == "sum" else np.mean
+            return lambda: reducer(V[a], axis=axis, keepdims=keepdims,
+                                   out=V[o])
+        if name in ("exp", "log", "sqrt", "tanh"):
+            ufunc = {"exp": np.exp, "log": np.log, "sqrt": np.sqrt,
+                     "tanh": np.tanh}[name]
+            a, = ii
+            return lambda: ufunc(V[a], out=V[o])
+        if name == "relu":
+            a, = ii
+            return lambda: np.copyto(V[o], np.where(V[a] > 0, V[a], 0.0))
+        if name == "leaky_relu":
+            a, = ii
+            slope = static["slope"]
+
+            def leaky_forward():
+                np.multiply(V[a], slope, out=V[o])
+                np.copyto(V[o], V[a], where=V[a] > 0)
+            return leaky_forward
+        if name == "sigmoid":
+            a, = ii
+            return lambda: np.copyto(V[o], stable_sigmoid(V[a]))
+        if name == "softplus":
+            a, = ii
+            return lambda: np.copyto(V[o], stable_softplus(V[a]))
+        if name == "softmax":
+            a, = ii
+            axis = static["axis"]
+
+            def softmax_forward():
+                shifted = V[a] - V[a].max(axis=axis, keepdims=True)
+                exps = np.exp(shifted)
+                np.divide(exps, exps.sum(axis=axis, keepdims=True),
+                          out=V[o])
+            return softmax_forward
+        if name == "maximum":
+            a, b = ii
+            return lambda: np.copyto(V[o], np.where(V[a] >= V[b],
+                                                    V[a], V[b]))
+        if name == "where":
+            a, b = ii
+            condition = static["condition"]
+            return lambda: np.copyto(V[o], np.where(condition, V[a], V[b]))
+        if name == "dropout":
+            a, = ii
+            rate = static["rate"]
+            rng = static["rng"]
+            mask = self._scratch(entry.out.shape, entry.out.data.dtype)
+            entry.static["mask_slot"] = mask
+            S = self.S
+
+            def dropout_forward():
+                keep = (rng.random(V[a].shape) >= rate) / (1.0 - rate)
+                np.copyto(S[mask], keep)
+                np.multiply(V[a], S[mask], out=V[o])
+            return dropout_forward
+        if name == "bpr_tail":
+            p, n = ii
+            diff = self._scratch(entry.inputs[0].shape,
+                                 entry.inputs[0].data.dtype)
+            entry.static["diff_slot"] = diff
+            S = self.S
+
+            def bpr_tail_forward():
+                loss, _ = get_backend().bpr_tail(V[p], V[n], d_out=S[diff])
+                V[o][...] = loss
+            return bpr_tail_forward
+        raise PlanUnsupported(f"no replay kernel for op {name!r}")
+
+    # -- backward builders --------------------------------------------
+    def _mode(self, parent: Tensor) -> int:
+        if not parent.requires_grad:
+            return _DEAD
+        node_i = self._idx[id(parent)]
+        if node_i in self._has_grad:
+            return _ACCUM
+        self._has_grad.add(node_i)
+        self._ensure_grad(node_i, parent.shape, parent.data.dtype)
+        return _INIT
+
+    def _emit(self, parent: Tensor, mode: int,
+              expr: Callable[[], np.ndarray],
+              expr_out: Optional[Callable[[np.ndarray], None]] = None
+              ) -> None:
+        """Schedule one gradient contribution.
+
+        ``expr`` computes the eager-exact contribution (allocating, like
+        the eager closure); ``expr_out`` writes the same values straight
+        into a target buffer.  ``prune`` decides whether dead
+        contributions run and whether first writes go in place.
+        """
+        G = self.G
+        prune = self.options.prune
+        if mode == _DEAD:
+            self._dead_skipped += 1
+            if not prune:
+                self._backward.append(lambda: (expr(), None)[1])
+            return
+        pi = self._idx[id(parent)]
+        if mode == _INIT:
+            if prune and expr_out is not None:
+                self._inplace_inits += 1
+                self._backward.append(lambda: expr_out(G[pi]))
+            else:
+                self._backward.append(lambda: np.copyto(G[pi], expr()))
+        else:
+            self._backward.append(
+                lambda: np.add(G[pi], expr(), out=G[pi]))
+
+    def _build_backward(self, entry: TapeEntry) -> None:
+        V, G, S = self.V, self.G, self.S
+        name = entry.name
+        static = entry.static
+        o = self._idx[id(entry.out)]
+        out_shape = entry.out.shape
+
+        if name == "add":
+            for parent in entry.inputs:
+                mode = self._mode(parent)
+                shape = parent.shape
+                if shape == out_shape:
+                    self._emit(parent, mode, lambda: G[o],
+                               lambda t: np.copyto(t, G[o]))
+                else:
+                    self._emit(parent, mode,
+                               lambda shape=shape:
+                               _unbroadcast(G[o], shape))
+            return
+        if name == "sub":
+            a, b = entry.inputs
+            mode = self._mode(a)
+            if a.shape == out_shape:
+                self._emit(a, mode, lambda: G[o],
+                           lambda t: np.copyto(t, G[o]))
+            else:
+                self._emit(a, mode, lambda shape=a.shape:
+                           _unbroadcast(G[o], shape))
+            mode = self._mode(b)
+            if b.shape == out_shape:
+                self._emit(b, mode, lambda: -G[o],
+                           lambda t: np.negative(G[o], out=t))
+            else:
+                self._emit(b, mode, lambda shape=b.shape:
+                           _unbroadcast(-G[o], shape))
+            return
+        if name == "mul":
+            a, b = entry.inputs
+            ai, bi = (self._idx[id(a)], self._idx[id(b)])
+            mode = self._mode(a)
+            if a.shape == out_shape:
+                self._emit(a, mode, lambda: G[o] * V[bi],
+                           lambda t: np.multiply(G[o], V[bi], out=t))
+            else:
+                self._emit(a, mode, lambda shape=a.shape:
+                           _unbroadcast(G[o] * V[bi], shape))
+            mode = self._mode(b)
+            if b.shape == out_shape:
+                self._emit(b, mode, lambda: G[o] * V[ai],
+                           lambda t: np.multiply(G[o], V[ai], out=t))
+            else:
+                self._emit(b, mode, lambda shape=b.shape:
+                           _unbroadcast(G[o] * V[ai], shape))
+            return
+        if name == "div":
+            a, b = entry.inputs
+            ai, bi = (self._idx[id(a)], self._idx[id(b)])
+            mode = self._mode(a)
+            if a.shape == out_shape:
+                self._emit(a, mode, lambda: G[o] / V[bi],
+                           lambda t: np.divide(G[o], V[bi], out=t))
+            else:
+                self._emit(a, mode, lambda shape=a.shape:
+                           _unbroadcast(G[o] / V[bi], shape))
+            mode = self._mode(b)
+            self._emit(b, mode, lambda shape=b.shape:
+                       _unbroadcast(-G[o] * V[ai] / (V[bi] * V[bi]),
+                                    shape))
+            return
+        if name == "neg":
+            a, = entry.inputs
+            self._emit(a, self._mode(a), lambda: -G[o],
+                       lambda t: np.negative(G[o], out=t))
+            return
+        if name == "power":
+            a, = entry.inputs
+            ai = self._idx[id(a)]
+            exponent = static["exponent"]
+            self._emit(a, self._mode(a),
+                       lambda: G[o] * exponent * V[ai] ** (exponent - 1.0))
+            return
+        if name == "matmul":
+            a, b = entry.inputs
+            ai, bi = (self._idx[id(a)], self._idx[id(b)])
+            a_nd, b_nd = len(a.shape), len(b.shape)
+            if a_nd == 1 and b_nd == 1:
+                self._emit(a, self._mode(a), lambda: G[o] * V[bi])
+                self._emit(b, self._mode(b), lambda: G[o] * V[ai])
+            elif a_nd == 1:
+                self._emit(a, self._mode(a), lambda: G[o] @ V[bi].T)
+                self._emit(b, self._mode(b),
+                           lambda: np.outer(V[ai], G[o]))
+            elif b_nd == 1:
+                self._emit(a, self._mode(a),
+                           lambda: np.outer(G[o], V[bi]))
+                self._emit(b, self._mode(b), lambda: V[ai].T @ G[o])
+            else:
+                self._emit(a, self._mode(a), lambda: G[o] @ V[bi].T,
+                           lambda t: np.matmul(G[o], V[bi].T, out=t))
+                self._emit(b, self._mode(b), lambda: V[ai].T @ G[o],
+                           lambda t: np.matmul(V[ai].T, G[o], out=t))
+            return
+        if name == "spmm":
+            a, = entry.inputs
+            transposed = cached_transpose(static["matrix"])
+            self._emit(a, self._mode(a),
+                       lambda: get_backend().spmm(transposed, G[o]),
+                       lambda t: get_backend().spmm(transposed, G[o],
+                                                    out=t))
+            return
+        if name == "reshape":
+            a, = entry.inputs
+            shape = a.shape
+            self._emit(a, self._mode(a), lambda: G[o].reshape(shape))
+            return
+        if name == "transpose":
+            a, = entry.inputs
+            inverse = static["inverse"]
+            self._emit(a, self._mode(a),
+                       lambda: G[o].transpose(inverse))
+            return
+        if name == "cat":
+            axis = static["axis"]
+            offsets = static["offsets"]
+            ndim = len(out_shape)
+            for parent, start, stop in zip(entry.inputs, offsets[:-1],
+                                           offsets[1:]):
+                slicer = [slice(None)] * ndim
+                slicer[axis] = slice(int(start), int(stop))
+                slicer = tuple(slicer)
+                self._emit(parent, self._mode(parent),
+                           lambda slicer=slicer: G[o][slicer])
+            return
+        if name == "stack":
+            axis = static["axis"]
+            for position, parent in enumerate(entry.inputs):
+                self._emit(parent, self._mode(parent),
+                           lambda position=position:
+                           np.moveaxis(G[o], axis, 0)[position])
+            return
+        if name == "getitem":
+            a, = entry.inputs
+            get_index = self._bind(static["index"])
+            shape, dtype = a.shape, a.data.dtype
+
+            def getitem_expr():
+                grad = arena_mod.zeros(shape, dtype)
+                np.add.at(grad, get_index(), G[o])
+                return grad
+
+            def getitem_out(t):
+                t[...] = 0
+                np.add.at(t, get_index(), G[o])
+            self._emit(a, self._mode(a), getitem_expr, getitem_out)
+            return
+        if name == "gather_rows":
+            a, = entry.inputs
+            get_index = self._bind(static["indices"])
+            num_rows = a.shape[0]
+            self._emit(a, self._mode(a),
+                       lambda: get_backend().scatter_add_rows(
+                           G[o], get_index(), num_rows),
+                       lambda t: get_backend().scatter_add_rows(
+                           G[o], get_index(), num_rows, out=t))
+            return
+        if name == "gathered_rowwise_dot":
+            a, b = entry.inputs
+            ai, bi = (self._idx[id(a)], self._idx[id(b)])
+            get_ai = self._bind(static["a_indices"])
+            get_bi = self._bind(static["b_indices"])
+
+            def side(parent, pv, ov, get_pi, get_oi):
+                shape, dtype = parent.shape, parent.data.dtype
+
+                def expr():
+                    grad = arena_mod.zeros(shape, dtype)
+                    np.add.at(grad, get_pi(),
+                              G[o].reshape(-1, 1) * V[ov][get_oi()])
+                    return grad
+
+                def expr_out(t):
+                    t[...] = 0
+                    np.add.at(t, get_pi(),
+                              G[o].reshape(-1, 1) * V[ov][get_oi()])
+                self._emit(parent, self._mode(parent), expr, expr_out)
+            side(a, ai, bi, get_ai, get_bi)
+            side(b, bi, ai, get_bi, get_ai)
+            return
+        if name == "memory_mixture":
+            emb, gates, transforms = entry.inputs
+            ei, gi, ti = (self._idx[id(t)] for t in entry.inputs)
+            modes = [self._mode(t) for t in entry.inputs]
+            # Eager prunes dead operands natively through ``needs``, so
+            # both prune modes skip them here.
+            needs = tuple(m != _DEAD for m in modes)
+            targets = [self._idx[id(t)] if m != _DEAD else None
+                       for t, m in zip(entry.inputs, modes)]
+
+            def mixture_backward():
+                grads = get_backend().memory_mixture_backward(
+                    G[o], V[ei], V[gi], V[ti], needs=needs)
+                for value, pi, mode in zip(grads, targets, modes):
+                    if value is None or pi is None:
+                        continue
+                    if mode == _INIT:
+                        np.copyto(G[pi], value)
+                    else:
+                        np.add(G[pi], value, out=G[pi])
+            self._backward.append(mixture_backward)
+            return
+        if name in ("sum", "mean"):
+            a, = entry.inputs
+            axis = static["axis"]
+            keepdims = static["keepdims"]
+            count = static.get("count")
+            shape = a.shape
+
+            def reduce_expr():
+                grad = G[o] if name == "sum" else G[o] / count
+                if axis is not None and not keepdims:
+                    for ax in sorted(axis):
+                        grad = np.expand_dims(grad, ax)
+                return np.broadcast_to(grad, shape)
+            self._emit(a, self._mode(a), reduce_expr)
+            return
+        if name == "segment_sum":
+            a, = entry.inputs
+            get_ids = self._bind(static["segment_ids"])
+            self._emit(a, self._mode(a), lambda: G[o][get_ids()])
+            return
+        if name == "exp":
+            a, = entry.inputs
+            self._emit(a, self._mode(a), lambda: G[o] * V[o],
+                       lambda t: np.multiply(G[o], V[o], out=t))
+            return
+        if name == "log":
+            a, = entry.inputs
+            ai = self._idx[id(a)]
+            self._emit(a, self._mode(a), lambda: G[o] / V[ai],
+                       lambda t: np.divide(G[o], V[ai], out=t))
+            return
+        if name == "sqrt":
+            a, = entry.inputs
+
+            def sqrt_out(t):
+                np.multiply(G[o], 0.5, out=t)
+                np.divide(t, V[o], out=t)
+            self._emit(a, self._mode(a), lambda: G[o] * 0.5 / V[o],
+                       sqrt_out)
+            return
+        if name == "relu":
+            a, = entry.inputs
+            ai = self._idx[id(a)]
+            self._emit(a, self._mode(a), lambda: G[o] * (V[ai] > 0),
+                       lambda t: np.multiply(G[o], V[ai] > 0, out=t))
+            return
+        if name == "leaky_relu":
+            a, = entry.inputs
+            ai = self._idx[id(a)]
+            slope = static["slope"]
+            self._emit(a, self._mode(a),
+                       lambda: G[o] * np.where(V[ai] > 0, 1.0, slope),
+                       lambda t: np.multiply(
+                           G[o], np.where(V[ai] > 0, 1.0, slope), out=t))
+            return
+        if name == "sigmoid":
+            a, = entry.inputs
+            self._emit(a, self._mode(a),
+                       lambda: G[o] * V[o] * (1.0 - V[o]))
+            return
+        if name == "tanh":
+            a, = entry.inputs
+            self._emit(a, self._mode(a),
+                       lambda: G[o] * (1.0 - V[o] * V[o]))
+            return
+        if name == "softplus":
+            a, = entry.inputs
+            ai = self._idx[id(a)]
+            self._emit(a, self._mode(a),
+                       lambda: G[o] * stable_sigmoid(V[ai]))
+            return
+        if name == "softmax":
+            a, = entry.inputs
+            axis = static["axis"]
+
+            def softmax_expr():
+                s = V[o]
+                dot = (G[o] * s).sum(axis=axis, keepdims=True)
+                return (G[o] - dot) * s
+            self._emit(a, self._mode(a), softmax_expr)
+            return
+        if name == "maximum":
+            a, b = entry.inputs
+            ai, bi = (self._idx[id(a)], self._idx[id(b)])
+            self._emit(a, self._mode(a), lambda shape=a.shape:
+                       _unbroadcast(G[o] * (V[ai] >= V[bi]), shape))
+            self._emit(b, self._mode(b), lambda shape=b.shape:
+                       _unbroadcast(G[o] * ~(V[ai] >= V[bi]), shape))
+            return
+        if name == "where":
+            a, b = entry.inputs
+            condition = static["condition"]
+            self._emit(a, self._mode(a), lambda shape=a.shape:
+                       _unbroadcast(G[o] * condition, shape))
+            self._emit(b, self._mode(b), lambda shape=b.shape:
+                       _unbroadcast(G[o] * ~condition, shape))
+            return
+        if name == "dropout":
+            a, = entry.inputs
+            ai = self._idx[id(a)]
+            mask = static["mask_slot"]
+            self._emit(a, self._mode(a), lambda: G[o] * S[mask],
+                       lambda t: np.multiply(G[o], S[mask], out=t))
+            # The eager mul also computed the mask-constant's gradient
+            # (a dead full-size product) before discarding it.
+            if not self.options.prune:
+                self._backward.append(lambda: (G[o] * V[ai], None)[1])
+            self._dead_skipped += 1
+            return
+        if name == "bpr_tail":
+            pos, neg_ = entry.inputs
+            diff = static["diff_slot"]
+            count = static["count"]
+            mode_pos = self._mode(pos)
+            mode_neg = self._mode(neg_)
+            if (self.options.prune and mode_pos == _INIT
+                    and mode_neg == _INIT and pos is not neg_):
+                pp = self._idx[id(pos)]
+                pn = self._idx[id(neg_)]
+                self._inplace_inits += 2
+
+                def bpr_direct():
+                    get_backend().bpr_tail_backward(
+                        S[diff], G[o], count,
+                        grad_pos_out=G[pp], grad_neg_out=G[pn])
+                self._backward.append(bpr_direct)
+            else:
+                modes = (mode_pos, mode_neg)
+                targets = [self._idx[id(t)] if m != _DEAD else None
+                           for t, m in zip((pos, neg_), modes)]
+
+                def bpr_generic():
+                    grads = get_backend().bpr_tail_backward(
+                        S[diff], G[o], count)
+                    for value, pi, mode in zip(grads, targets, modes):
+                        if pi is None:
+                            continue
+                        if mode == _INIT:
+                            np.copyto(G[pi], value)
+                        else:
+                            np.add(G[pi], value, out=G[pi])
+                self._backward.append(bpr_generic)
+            return
+        raise PlanUnsupported(f"no backward replay kernel for {name!r}")
+
+    # -- replay --------------------------------------------------------
+    def replay(self, inputs: Sequence[np.ndarray]) -> float:
+        """Run the compiled step; returns the loss value.
+
+        Bitwise-identical to one eager step on the same inputs: leaf
+        arrays are refreshed from the parameter tensors (Adam mutates
+        them in place), bound index arrays are converted exactly as the
+        eager index path would, and parameter ``.grad`` fields are
+        pointed at the plan's gradient slots for the optimizer.
+        """
+        V, G, B = self.V, self.G, self.B
+        for slot, (position, dtype) in enumerate(self._bind_specs):
+            B[slot] = np.asarray(inputs[position], dtype=dtype)
+        for node_i, tensor in self._leaves:
+            V[node_i] = tensor.data
+        if not self.options.arena:
+            views = self._arena.fresh_views()
+            for lst, index, slot in self._slot_map:
+                lst[index] = views[slot]
+        for step in self._forward:
+            step()
+        G[self._loss_i][...] = 1.0
+        for step in self._backward:
+            step()
+        for tensor, node_i in self._param_grads:
+            tensor.grad = G[node_i]
+        self.replays += 1
+        return float(V[self._loss_i])
+
+
+class CompiledStepper:
+    """Record-once / replay-many driver for a model's BPR training step.
+
+    ``step()`` is a drop-in replacement for the eager
+    ``zero_grad → bpr_loss → backward`` sequence (the caller still
+    clips, steps the optimizer, and reads ``param.grad``).  The first
+    step with a new input-shape signature runs eagerly under the tape
+    and compiles a :class:`StepPlan`; later steps with the same
+    signature replay it.  A shape deviation (the ragged last batch of
+    an epoch) simply records one more plan, up to ``max_plans``.  When
+    the tape is unsupported, or ``max_misses`` consecutive steps find
+    no plan to replay (per-batch minibatch subgraphs never repeat),
+    the stepper disables itself and stays eager, keeping the recorded
+    reason in :attr:`disabled_reason`.
+    """
+
+    def __init__(self, model, l2: float = 0.0,
+                 options: Optional[PlanOptions] = None,
+                 max_plans: int = 4, max_misses: int = 16):
+        self.model = model
+        self.l2 = float(l2)
+        self.options = options or PlanOptions()
+        self.max_plans = int(max_plans)
+        self.max_misses = int(max_misses)
+        self.disabled_reason: Optional[str] = None
+        self._plans: Dict[tuple, StepPlan] = {}
+        self._plan_keys: Dict[tuple, object] = {}
+        self._misses = 0
+        self.stats = {"recorded": 0, "replayed": 0, "eager_steps": 0}
+
+    def signature(self, inputs, plan_key=None) -> tuple:
+        parts = tuple((np.shape(x), np.asarray(x).dtype.str)
+                      for x in inputs)
+        return (parts, None if plan_key is None else id(plan_key))
+
+    def plan_stats(self) -> dict:
+        """Aggregate plan/stepper statistics for benchmarks and tests."""
+        merged = dict(self.stats)
+        merged["plans"] = len(self._plans)
+        merged["disabled_reason"] = self.disabled_reason
+        plans = list(self._plans.values())
+        if plans:
+            first = plans[0]
+            merged.update(first.stats)
+        return merged
+
+    def _run_eager(self, loss_fn, inputs) -> Tensor:
+        if loss_fn is not None:
+            return loss_fn()
+        users, positives, negatives = inputs
+        return self.model.bpr_loss(users, positives, negatives,
+                                   l2=self.l2)
+
+    def step(self, users, positives, negatives, loss_fn=None,
+             plan_key=None) -> float:
+        """One forward+backward; returns the loss value.
+
+        ``loss_fn`` overrides the default full-graph ``bpr_loss`` call
+        (minibatch workers pass a ``bpr_loss_on`` closure and their
+        subgraph as ``plan_key``, which scopes the plan to that
+        subgraph's baked adjacency).
+        """
+        inputs = (users, positives, negatives)
+        if self.disabled_reason is None:
+            signature = self.signature(inputs, plan_key)
+            plan = self._plans.get(signature)
+            if plan is not None:
+                self._misses = 0
+                self.stats["replayed"] += 1
+                # bpr_loss would have dropped cached inference
+                # embeddings; replay bypasses it, so drop them here.
+                self.model.invalidate_cache()
+                return plan.replay(inputs)
+            self._misses += 1
+            if self._misses > self.max_misses:
+                self.disabled_reason = (
+                    f"no plan hit in {self.max_misses} consecutive "
+                    f"steps (input signatures keep changing)")
+            elif len(self._plans) < self.max_plans:
+                return self._record(inputs, signature, loss_fn, plan_key)
+        self.stats["eager_steps"] += 1
+        loss = self._run_eager(loss_fn, inputs)
+        loss.backward()
+        return loss.item()
+
+    def _record(self, inputs, signature, loss_fn, plan_key) -> float:
+        recorder = TapeRecorder()
+        with trace.tracing(recorder):
+            loss = self._run_eager(loss_fn, inputs)
+            loss.backward()
+        try:
+            param_ids = {id(p) for p in self.model.parameters()}
+            plan = StepPlan(recorder, loss, inputs, param_ids,
+                            self.options)
+        except PlanUnsupported as exc:
+            self.disabled_reason = str(exc)
+            self.stats["eager_steps"] += 1
+        else:
+            self._plans[signature] = plan
+            if plan_key is not None:
+                # Strong ref: keeps the key object (a minibatch
+                # subgraph) alive so its id cannot be reused.
+                self._plan_keys[signature] = plan_key
+            self.stats["recorded"] += 1
+        return loss.item()

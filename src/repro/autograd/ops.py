@@ -31,14 +31,23 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd import trace
 from repro.autograd.sparse import RowSparseGrad, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.engine import arena
 from repro.engine.adjcache import cached_transpose
 from repro.engine.backends import get_backend
 from repro.engine.precision import as_index_array
+from repro.engine.stable_math import stable_sigmoid, stable_softplus
 
 Axis = Union[None, int, Tuple[int, ...]]
+
+
+def _record(name, out, inputs, **static):
+    """Report one built op to the active tape (no-op when not tracing)."""
+    if trace.TAPE is not None:
+        trace.TAPE.record(name, out, inputs, static)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -77,7 +86,7 @@ def add(a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("add", Tensor._make(data, (a, b), factory), (a, b))
 
 
 def sub(a, b) -> Tensor:
@@ -92,7 +101,7 @@ def sub(a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("sub", Tensor._make(data, (a, b), factory), (a, b))
 
 
 def mul(a, b) -> Tensor:
@@ -107,7 +116,7 @@ def mul(a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("mul", Tensor._make(data, (a, b), factory), (a, b))
 
 
 def div(a, b) -> Tensor:
@@ -122,7 +131,7 @@ def div(a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("div", Tensor._make(data, (a, b), factory), (a, b))
 
 
 def neg(a) -> Tensor:
@@ -135,7 +144,7 @@ def neg(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(-a.data, (a,), factory)
+    return _record("neg", Tensor._make(-a.data, (a,), factory), (a,))
 
 
 def power(a, exponent: float) -> Tensor:
@@ -150,7 +159,8 @@ def power(a, exponent: float) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("power", Tensor._make(data, (a,), factory), (a,),
+                   exponent=exponent)
 
 
 # ----------------------------------------------------------------------
@@ -183,7 +193,7 @@ def matmul(a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("matmul", Tensor._make(data, (a, b), factory), (a, b))
 
 
 def spmm(matrix: sp.spmatrix, dense) -> Tensor:
@@ -209,7 +219,8 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (dense,), factory)
+    return _record("spmm", Tensor._make(data, (dense,), factory), (dense,),
+                   matrix=matrix)
 
 
 # ----------------------------------------------------------------------
@@ -227,7 +238,8 @@ def reshape(a, shape: Sequence[int]) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("reshape", Tensor._make(data, (a,), factory), (a,),
+                   shape=shape)
 
 
 def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
@@ -245,7 +257,8 @@ def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("transpose", Tensor._make(data, (a,), factory), (a,),
+                   axes=axes, inverse=inverse)
 
 
 def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -267,7 +280,8 @@ def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, tensors, factory)
+    return _record("cat", Tensor._make(data, tensors, factory), tensors,
+                   axis=axis, offsets=offsets)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -283,7 +297,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, tensors, factory)
+    return _record("stack", Tensor._make(data, tensors, factory), tensors,
+                   axis=axis)
 
 
 def getitem(a, index) -> Tensor:
@@ -301,7 +316,8 @@ def getitem(a, index) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("getitem", Tensor._make(data, (a,), factory), (a,),
+                   index=index)
 
 
 def gather_rows(a, indices) -> Tensor:
@@ -315,6 +331,11 @@ def gather_rows(a, indices) -> Tensor:
     """
     a = as_tensor(a)
     indices = as_index_array(indices, a.shape[0])
+    if (trace.TAPE is not None and sparse_grads_enabled()
+            and a._backward is None and not a._parents):
+        # The closure below would emit a RowSparseGrad carrier, which
+        # the replay's dense grad slots cannot represent.
+        trace.mark_unsupported("gather_rows row-sparse leaf gradient")
     data = get_backend().gather_rows(a.data, indices)
 
     def factory(out: Tensor):
@@ -332,7 +353,8 @@ def gather_rows(a, indices) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("gather_rows", Tensor._make(data, (a,), factory), (a,),
+                   indices=indices)
 
 
 def gathered_rowwise_dot(a, b, a_indices, b_indices) -> Tensor:
@@ -367,7 +389,9 @@ def gathered_rowwise_dot(a, b, a_indices, b_indices) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("gathered_rowwise_dot",
+                   Tensor._make(data, (a, b), factory), (a, b),
+                   a_indices=a_indices, b_indices=b_indices)
 
 
 def memory_mixture(embeddings, gates, transforms) -> Tensor:
@@ -418,7 +442,10 @@ def memory_mixture(embeddings, gates, transforms) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (embeddings, gates, transforms), factory)
+    return _record("memory_mixture",
+                   Tensor._make(data, (embeddings, gates, transforms),
+                                factory),
+                   (embeddings, gates, transforms))
 
 
 # ----------------------------------------------------------------------
@@ -440,7 +467,8 @@ def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("sum", Tensor._make(data, (a,), factory), (a,),
+                   axis=norm_axis, keepdims=keepdims)
 
 
 def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
@@ -463,7 +491,8 @@ def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("mean", Tensor._make(data, (a,), factory), (a,),
+                   axis=norm_axis, keepdims=keepdims, count=count)
 
 
 # ----------------------------------------------------------------------
@@ -489,7 +518,8 @@ def segment_sum(a, segment_ids, num_segments: int) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("segment_sum", Tensor._make(data, (a,), factory), (a,),
+                   segment_ids=segment_ids, num_segments=num_segments)
 
 
 def segment_softmax(scores, segment_ids, num_segments: int, eps: float = 1e-12) -> Tensor:
@@ -501,6 +531,9 @@ def segment_softmax(scores, segment_ids, num_segments: int, eps: float = 1e-12) 
     """
     scores = as_tensor(scores)
     segment_ids = as_index_array(segment_ids, num_segments)
+    # The stability shift is a data-dependent constant baked into the
+    # graph; a replayed plan would freeze stale scores.data values.
+    trace.mark_unsupported("segment_softmax data-dependent shift")
     shift = np.full(num_segments, -np.inf, dtype=scores.data.dtype)
     np.maximum.at(shift, segment_ids, scores.data)
     shift[~np.isfinite(shift)] = 0.0
@@ -525,7 +558,7 @@ def exp(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("exp", Tensor._make(data, (a,), factory), (a,))
 
 
 def log(a) -> Tensor:
@@ -539,7 +572,7 @@ def log(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("log", Tensor._make(data, (a,), factory), (a,))
 
 
 def sqrt(a) -> Tensor:
@@ -553,7 +586,7 @@ def sqrt(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("sqrt", Tensor._make(data, (a,), factory), (a,))
 
 
 def relu(a) -> Tensor:
@@ -568,7 +601,7 @@ def relu(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("relu", Tensor._make(data, (a,), factory), (a,))
 
 
 def leaky_relu(a, negative_slope: float = 0.2) -> Tensor:
@@ -584,15 +617,14 @@ def leaky_relu(a, negative_slope: float = 0.2) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("leaky_relu", Tensor._make(data, (a,), factory), (a,),
+                   slope=slope)
 
 
 def sigmoid(a) -> Tensor:
     """Numerically stable logistic sigmoid."""
     a = as_tensor(a)
-    x = a.data
-    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
-                    np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+    data = stable_sigmoid(a.data)
 
     def factory(out: Tensor):
         def backward():
@@ -600,7 +632,7 @@ def sigmoid(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("sigmoid", Tensor._make(data, (a,), factory), (a,))
 
 
 def tanh(a) -> Tensor:
@@ -614,24 +646,21 @@ def tanh(a) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("tanh", Tensor._make(data, (a,), factory), (a,))
 
 
 def softplus(a) -> Tensor:
     """Numerically stable ``log(1 + exp(a))``."""
     a = as_tensor(a)
-    x = a.data
-    data = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    data = stable_softplus(a.data)
 
     def factory(out: Tensor):
         def backward():
-            sig = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
-                           np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
-            a._accumulate(out.grad * sig)
+            a._accumulate(out.grad * stable_sigmoid(a.data))
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("softplus", Tensor._make(data, (a,), factory), (a,))
 
 
 def log_sigmoid(a) -> Tensor:
@@ -655,7 +684,8 @@ def softmax(a, axis: int = -1) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a,), factory)
+    return _record("softmax", Tensor._make(data, (a,), factory), (a,),
+                   axis=axis)
 
 
 def maximum(a, b) -> Tensor:
@@ -671,7 +701,7 @@ def maximum(a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("maximum", Tensor._make(data, (a, b), factory), (a, b))
 
 
 def where(condition: np.ndarray, a, b) -> Tensor:
@@ -687,7 +717,8 @@ def where(condition: np.ndarray, a, b) -> Tensor:
 
         return backward
 
-    return Tensor._make(data, (a, b), factory)
+    return _record("where", Tensor._make(data, (a, b), factory), (a, b),
+                   condition=condition)
 
 
 def dropout(a, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
@@ -698,4 +729,11 @@ def dropout(a, rate: float, rng: np.random.Generator, training: bool = True) -> 
     if not 0.0 <= rate < 1.0:
         raise ValueError("dropout rate must be in [0, 1)")
     keep = (rng.random(a.shape) >= rate) / (1.0 - rate)
-    return mul(a, Tensor(keep))
+    if trace.TAPE is None:
+        return mul(a, Tensor(keep))
+    # Record dropout as one first-class entry (suppressing the inner
+    # mul): the replay re-draws the mask from the same generator, so the
+    # rng stream position stays aligned with the eager loop.
+    with trace.suspended():
+        out = mul(a, Tensor(keep))
+    return _record("dropout", out, (a,), rate=float(rate), rng=rng)

@@ -1,0 +1,68 @@
+"""Op-tape capture hooks for the step compiler.
+
+:mod:`repro.autograd.ops` calls :func:`record` (via the module-global
+``TAPE``) after building each op, so a :class:`~repro.autograd.compile.
+TapeRecorder` installed with :func:`tracing` observes the exact op
+sequence — kind, output tensor, parent tensors, and the static
+arguments each backward closure captured — of one eager step.  The
+hooks are pure observation: with no tape installed (``TAPE is None``,
+the steady state) each op pays one attribute load and a falsy check.
+
+Ops whose closures bake data-dependent constants that a replay cannot
+reproduce call :func:`mark_unsupported`; the recorder then refuses to
+emit a plan and the caller stays on the eager path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+#: The active tape, or None.  ops.py reads this directly on its hot path.
+TAPE = None
+
+
+def get_tape():
+    """The currently installed tape recorder, or ``None``."""
+    return TAPE
+
+
+@contextlib.contextmanager
+def tracing(tape) -> Iterator[object]:
+    """Install ``tape`` as the active recorder for the block."""
+    global TAPE
+    previous = TAPE
+    TAPE = tape
+    try:
+        yield tape
+    finally:
+        TAPE = previous
+
+
+@contextlib.contextmanager
+def suspended() -> Iterator[None]:
+    """Temporarily hide an op composition from the active tape.
+
+    Used by composite ops (e.g. ``dropout``) that record themselves as
+    one first-class tape entry instead of their internal primitives.
+    """
+    global TAPE
+    previous = TAPE
+    TAPE = None
+    try:
+        yield
+    finally:
+        TAPE = previous
+
+
+def record(name: str, out, inputs, static: Optional[dict] = None):
+    """Record one op on the active tape (no-op without a tape)."""
+    if TAPE is not None:
+        TAPE.record(name, out, inputs, static or {})
+    return out
+
+
+def mark_unsupported(reason: str) -> None:
+    """Flag the current tape as not replayable (no-op without a tape)."""
+    if TAPE is not None:
+        TAPE.mark_unsupported(reason)

@@ -1,0 +1,328 @@
+"""Step compiler: record-once / replay-many parity oracles.
+
+Load-bearing assertions:
+
+* a compiled ``fit()`` is bitwise-identical to the eager trainer for
+  DGNN and LightGCN on the ``medium`` preset — same loss trajectory,
+  same final parameters (the tentpole acceptance criterion);
+* every one of the eight :class:`PlanOptions` combinations replays
+  bitwise-identically to the eager step (fusion, arena planning and
+  pruning are independently toggleable oracles);
+* a shape deviation (the ragged last batch) records a second plan and
+  both signatures replay exactly;
+* unsupported models and shifting input signatures degrade to eager
+  with a recorded ``disabled_reason`` — never to wrong numbers;
+* the fused ``bpr_tail`` / ``bpr_tail_backward`` kernels are bitwise
+  against the literal eager op chain on every registered backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.compile import CompiledStepper, PlanOptions
+from repro.data import PRESETS, build_eval_candidates, leave_one_out
+from repro.engine.backends import available_backends
+from repro.engine.stable_math import stable_sigmoid, stable_softplus
+from repro.graph import CollaborativeHeteroGraph
+from repro.models import BprMF, create_model
+from repro.train import ParallelTrainer, TrainConfig, Trainer
+
+_MODEL_KWARGS = {
+    "dgnn": dict(num_memory_units=2, message_dropout=0.0),
+    "lightgcn": {},
+}
+
+# Two epochs over medium's ~3.6k pairs at batch 1024: three full
+# batches plus a ragged tail, so the fit-parity runs exercise both the
+# replay path and the second-plan path.  eval_every > epochs keeps the
+# comparison purely about training numerics.
+_FIT = dict(epochs=2, batch_size=1024, eval_every=5, patience=None, seed=0)
+
+
+@pytest.fixture(scope="module")
+def medium_split():
+    dataset = PRESETS["medium"](seed=0)
+    return leave_one_out(dataset, seed=0)
+
+
+@pytest.fixture(scope="module")
+def medium_graph(medium_split):
+    return CollaborativeHeteroGraph(medium_split.dataset,
+                                    medium_split.train_pairs)
+
+
+@pytest.fixture(scope="module")
+def medium_candidates(medium_split):
+    return build_eval_candidates(medium_split, num_negatives=20, seed=0)
+
+
+def _batch(graph, size, seed):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, graph.num_users, size=size, dtype=np.int64),
+            rng.integers(0, graph.num_items, size=size, dtype=np.int64),
+            rng.integers(0, graph.num_items, size=size, dtype=np.int64))
+
+
+def _clear_grads(model):
+    for param in model.parameters():
+        param.grad = None
+
+
+def _grads(model):
+    return [None if p.grad is None else p.grad.copy()
+            for p in model.parameters()]
+
+
+def _assert_grads_equal(got, expected):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        if e is None:
+            assert g is None
+        else:
+            np.testing.assert_array_equal(g, e)
+
+
+def _make(model_name, graph, seed=0):
+    model = create_model(model_name, graph, embed_dim=8, seed=seed,
+                         **_MODEL_KWARGS[model_name])
+    model.train()
+    return model
+
+
+# ----------------------------------------------------------------------
+# Tentpole acceptance: compiled fit() is bitwise eager at medium
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("model_name", ["dgnn", "lightgcn"])
+def test_compiled_fit_bitwise_identical_to_eager_medium(
+        model_name, medium_split, medium_graph, medium_candidates):
+    def run(compile_flag):
+        model = _make(model_name, medium_graph)
+        trainer = Trainer(model, medium_split,
+                          TrainConfig(compile=compile_flag, **_FIT),
+                          medium_candidates)
+        history = trainer.fit()
+        return model, trainer, history
+
+    model_eager, trainer_eager, hist_eager = run(False)
+    model_comp, trainer_comp, hist_comp = run(True)
+
+    assert trainer_eager._stepper is None
+    stats = trainer_comp._stepper.plan_stats()
+    assert stats["disabled_reason"] is None
+    assert stats["recorded"] >= 1
+    assert stats["replayed"] >= 1
+    assert stats["eager_steps"] == 0
+
+    assert hist_eager.losses == hist_comp.losses  # exact, not approx
+    for pa, pb in zip(model_eager.parameters(), model_comp.parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+# ----------------------------------------------------------------------
+# The eight PlanOptions combinations are each bitwise oracles
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fuse", [False, True])
+@pytest.mark.parametrize("arena", [False, True])
+@pytest.mark.parametrize("prune", [False, True])
+def test_every_plan_option_combination_is_bitwise(tiny_graph, fuse, arena,
+                                                  prune):
+    batch = _batch(tiny_graph, 64, seed=3)
+    reference = _make("dgnn", tiny_graph)
+    loss = reference.bpr_loss(*batch, l2=1e-4)
+    loss.backward()
+    ref_loss, ref_grads = loss.item(), _grads(reference)
+
+    model = _make("dgnn", tiny_graph)
+    stepper = CompiledStepper(
+        model, l2=1e-4,
+        options=PlanOptions(fuse=fuse, arena=arena, prune=prune))
+    recorded_loss = stepper.step(*batch)
+    _clear_grads(model)
+    replayed_loss = stepper.step(*batch)
+
+    assert stepper.disabled_reason is None
+    assert stepper.stats == {"recorded": 1, "replayed": 1, "eager_steps": 0}
+    assert recorded_loss == ref_loss
+    assert replayed_loss == ref_loss
+    _assert_grads_equal(_grads(model), ref_grads)
+
+
+def test_plan_stats_reflect_the_enabled_optimizations(tiny_graph):
+    batch = _batch(tiny_graph, 64, seed=3)
+    model = _make("dgnn", tiny_graph)
+    stepper = CompiledStepper(model, l2=1e-4)  # all options on
+    stepper.step(*batch)
+    _clear_grads(model)
+    stepper.step(*batch)
+    stats = stepper.plan_stats()
+    assert stats["plans"] == 1
+    assert stats["fused"] >= 1          # the BPR tail collapsed
+    assert stats["slots"] > 0           # arena slots were planned
+    assert stats["planned_bytes"] > 0
+    assert stats["inplace_inits"] >= 1  # first grads written in place
+
+    bare = CompiledStepper(_make("dgnn", tiny_graph), l2=1e-4,
+                           options=PlanOptions(fuse=False, arena=False,
+                                               prune=False))
+    bare.step(*batch)
+    stats = bare.plan_stats()
+    assert stats["fused"] == 0
+    assert stats["inplace_inits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Shape deviations and fallback behaviour
+# ----------------------------------------------------------------------
+def test_ragged_batch_records_a_second_plan(tiny_graph):
+    model = _make("lightgcn", tiny_graph)
+    stepper = CompiledStepper(model, l2=0.0)
+    full = _batch(tiny_graph, 64, seed=1)
+    ragged = _batch(tiny_graph, 37, seed=2)
+
+    losses = []
+    for batch in (full, ragged, full, ragged):
+        _clear_grads(model)
+        losses.append(stepper.step(*batch))
+    assert stepper.stats == {"recorded": 2, "replayed": 2, "eager_steps": 0}
+    assert stepper.plan_stats()["plans"] == 2
+
+    reference = _make("lightgcn", tiny_graph)
+    for batch, recorded, replayed in ((full, losses[0], losses[2]),
+                                      (ragged, losses[1], losses[3])):
+        _clear_grads(reference)
+        loss = reference.bpr_loss(*batch, l2=0.0)
+        loss.backward()
+        assert recorded == loss.item()
+        assert replayed == loss.item()
+
+
+def test_shifting_signatures_disable_the_stepper_but_stay_correct(
+        tiny_graph):
+    model = _make("lightgcn", tiny_graph)
+    reference = _make("lightgcn", tiny_graph)
+    stepper = CompiledStepper(model, l2=1e-4, max_plans=2, max_misses=3)
+
+    for size in range(8, 26, 2):  # nine distinct signatures, no repeats
+        batch = _batch(tiny_graph, size, seed=100 + size)
+        _clear_grads(model)
+        _clear_grads(reference)
+        got = stepper.step(*batch)
+        loss = reference.bpr_loss(*batch, l2=1e-4)
+        loss.backward()
+        assert got == loss.item()
+        _assert_grads_equal(_grads(model), _grads(reference))
+
+    assert stepper.disabled_reason is not None
+    assert "no plan hit" in stepper.disabled_reason
+    assert stepper.stats["eager_steps"] > 0
+
+
+def test_trainer_skips_compile_for_unsupported_models(tiny_split,
+                                                      tiny_graph,
+                                                      tiny_candidates):
+    config = TrainConfig(epochs=1, batch_size=64, eval_every=2,
+                         patience=None, seed=0, compile=True)
+    model = BprMF(tiny_graph, embed_dim=4, seed=0)
+    assert not model.supports_compile()
+    trainer = Trainer(model, tiny_split, config, tiny_candidates)
+    assert trainer._stepper is None  # declined, not disabled mid-run
+
+    reference = BprMF(tiny_graph, embed_dim=4, seed=0)
+    ref_history = Trainer(reference, tiny_split,
+                          TrainConfig(epochs=1, batch_size=64, eval_every=2,
+                                      patience=None, seed=0, compile=False),
+                          tiny_candidates).fit()
+    history = trainer.fit()
+    assert history.losses == ref_history.losses
+    for pa, pb in zip(model.parameters(), reference.parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+def test_resolved_compile_env_and_override(monkeypatch):
+    monkeypatch.delenv("REPRO_COMPILE", raising=False)
+    assert TrainConfig().resolved_compile() is False
+    monkeypatch.setenv("REPRO_COMPILE", "1")
+    assert TrainConfig().resolved_compile() is True
+    assert TrainConfig(compile=False).resolved_compile() is False
+    monkeypatch.setenv("REPRO_COMPILE", "0")
+    assert TrainConfig().resolved_compile() is False
+    assert TrainConfig(compile=True).resolved_compile() is True
+
+
+def test_parallel_one_worker_compile_parity():
+    def run(compile_flag):
+        dataset = PRESETS["tiny"](seed=0)
+        split = leave_one_out(dataset, seed=0)
+        graph = CollaborativeHeteroGraph(dataset, split.train_pairs)
+        model = create_model("lightgcn", graph, embed_dim=8, seed=0)
+        candidates = build_eval_candidates(split, seed=0)
+        config = TrainConfig(workers=1, parallel_mode="sync",
+                             compile=compile_flag, epochs=2, batch_size=64,
+                             batches_per_epoch=4, propagation="minibatch",
+                             fanout=5, eval_every=3, patience=None, seed=0)
+        history = ParallelTrainer(model, split, config, candidates).fit()
+        return model, history
+
+    model_eager, hist_eager = run(False)
+    model_comp, hist_comp = run(True)
+    assert hist_eager.losses == hist_comp.losses
+    for pa, pb in zip(model_eager.parameters(), model_comp.parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+# ----------------------------------------------------------------------
+# Fused BPR-tail kernels vs the literal eager chain
+# ----------------------------------------------------------------------
+def _chain_forward(pos, neg):
+    diff = np.subtract(pos, neg)
+    loss = np.negative(np.mean(np.negative(
+        stable_softplus(np.negative(diff)))))
+    return np.asarray(loss), diff
+
+
+def _chain_backward(diff, upstream, count):
+    log_sig_grad = np.broadcast_to(np.negative(upstream) / count, diff.shape)
+    neg_diff_grad = np.negative(log_sig_grad) * stable_sigmoid(
+        np.negative(diff))
+    grad_pos = np.negative(neg_diff_grad)
+    return grad_pos, np.negative(grad_pos)
+
+
+@pytest.mark.parametrize("backend_name",
+                         sorted(available_backends()))
+def test_bpr_tail_bitwise_against_eager_chain(backend_name, rng):
+    backend = available_backends()[backend_name]
+    pos = rng.standard_normal(257) * 4.0
+    neg = rng.standard_normal(257) * 4.0
+
+    loss, diff = backend.bpr_tail(pos, neg)
+    want_loss, want_diff = _chain_forward(pos, neg)
+    assert loss == want_loss
+    np.testing.assert_array_equal(diff, want_diff)
+
+    upstream = np.asarray(1.0)
+    grad_pos, grad_neg = backend.bpr_tail_backward(diff, upstream, pos.size)
+    want_pos, want_neg = _chain_backward(want_diff, upstream, pos.size)
+    np.testing.assert_array_equal(grad_pos, want_pos)
+    np.testing.assert_array_equal(grad_neg, want_neg)
+
+
+def test_bpr_tail_out_buffers_are_honoured(rng):
+    backend = available_backends()["fast"]
+    pos = rng.standard_normal(64)
+    neg = rng.standard_normal(64)
+    d_out = np.empty_like(pos)
+    loss, diff = backend.bpr_tail(pos, neg, d_out=d_out)
+    assert diff is d_out
+    np.testing.assert_array_equal(d_out, pos - neg)
+
+    gp_out = np.empty_like(pos)
+    gn_out = np.empty_like(pos)
+    grad_pos, grad_neg = backend.bpr_tail_backward(
+        diff, np.asarray(2.5), pos.size,
+        grad_pos_out=gp_out, grad_neg_out=gn_out)
+    assert grad_pos is gp_out and grad_neg is gn_out
+    want_pos, want_neg = _chain_backward(pos - neg, np.asarray(2.5),
+                                         pos.size)
+    np.testing.assert_array_equal(gp_out, want_pos)
+    np.testing.assert_array_equal(gn_out, want_neg)

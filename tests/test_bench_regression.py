@@ -439,3 +439,103 @@ def test_compare_skips_empty_locality_section():
     fresh = json.loads(json.dumps(baseline))
     fresh["presets"]["large"]["locality"] = {}
     assert check_regression.compare(baseline, fresh) == []
+
+
+def _baseline_with_compile(speedup=1.8, parity=True, disabled=None,
+                           preset="large"):
+    return {"presets": {preset: {
+        "backends": {"fast": {"epochs_per_sec": 100.0}},
+        "compile": {
+            "model": "lightgcn",
+            "arms": {
+                "eager": {"steps_per_sec": 10.0},
+                "compiled": {"steps_per_sec": 10.0 * speedup,
+                             "speedup_over_eager": speedup,
+                             "parity_ok": parity,
+                             "plan": {"plans": 1,
+                                      "disabled_reason": disabled}},
+            },
+            "best": {"arm": "compiled", "speedup_over_eager": speedup},
+        },
+    }}}
+
+
+def test_compare_flags_compile_step_rate_regression():
+    baseline = _baseline_with_compile()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["compile"]["arms"]["eager"][
+        "steps_per_sec"] = 5.0
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("compile/eager" in p and "regressed" in p
+                            for p in problems)
+
+
+def test_compare_enforces_compile_speedup_floor_on_large():
+    problems = check_regression.compare(_baseline_with_compile(speedup=1.8),
+                                        _baseline_with_compile(speedup=1.1))
+    assert problems and any("below the required 1.25x floor" in p
+                            for p in problems)
+    # The floor binds the committed baseline too.
+    problems = check_regression.compare(_baseline_with_compile(speedup=1.1),
+                                        _baseline_with_compile(speedup=1.8))
+    assert problems and any("baseline" in p and "floor" in p
+                            for p in problems)
+
+
+def test_compare_compile_floor_only_applies_to_large():
+    weak = _baseline_with_compile(speedup=1.05, preset="tiny")
+    assert check_regression.compare(weak, json.loads(json.dumps(weak))) == []
+
+
+def test_compare_flags_compile_parity_failure_at_every_preset():
+    # Bitwise replay parity is unconditional — tiny included.
+    bad = _baseline_with_compile(parity=False, preset="tiny")
+    problems = check_regression.compare(_baseline_with_compile(preset="tiny"),
+                                        bad)
+    assert problems and any("not bitwise-identical" in p for p in problems)
+
+
+def test_compare_flags_compile_disabled_stepper():
+    bad = _baseline_with_compile(disabled="unsupported op 'where'")
+    problems = check_regression.compare(_baseline_with_compile(), bad)
+    assert problems and any("fell back to eager" in p
+                            and "unsupported op" in p for p in problems)
+
+
+def test_compare_reports_missing_compile_best_summary():
+    baseline = _baseline_with_compile()
+    fresh = json.loads(json.dumps(baseline))
+    del fresh["presets"]["large"]["compile"]["best"]
+    problems = check_regression.compare(baseline, fresh)
+    assert problems and any("no 'best' summary" in p for p in problems)
+
+
+def test_compare_reports_missing_compile_section():
+    baseline = _baseline_with_compile()
+    fresh = {"presets": {"large": {
+        "backends": {"fast": {"epochs_per_sec": 100.0}}}}}
+    problems = check_regression.compare(baseline, fresh)
+    assert any("expected section 'compile' is missing" in p
+               for p in problems)
+
+
+def test_compare_skips_empty_compile_section():
+    baseline = _baseline_with_compile()
+    fresh = json.loads(json.dumps(baseline))
+    fresh["presets"]["large"]["compile"] = {}
+    assert check_regression.compare(baseline, fresh) == []
+
+
+def test_compare_messages_carry_artifact_paths_when_given():
+    baseline = _baseline_with_compile(speedup=1.8)
+    fresh = _baseline_with_compile(speedup=1.1)
+    problems = check_regression.compare(
+        baseline, fresh,
+        baseline_path="BENCH_engine.json", fresh_path="/tmp/fresh.json")
+    assert problems
+    for problem in problems:
+        assert problem.endswith(
+            "[baseline=BENCH_engine.json, fresh=/tmp/fresh.json]")
+    # Without paths the messages stay exactly as before.
+    assert all("[baseline=" not in p
+               for p in check_regression.compare(baseline, fresh))

@@ -18,7 +18,12 @@ import pytest
 
 from repro.engine import arena as arena_mod
 from repro.engine import use_backend
-from repro.engine.arena import BufferArena, arena_enabled, use_arena
+from repro.engine.arena import (
+    BufferArena,
+    PlannedArena,
+    arena_enabled,
+    use_arena,
+)
 from repro.graph import CollaborativeHeteroGraph
 from repro.models import create_model
 from repro.nn.optim import Adam
@@ -194,3 +199,101 @@ class TestAllocateFreshParity:
         assert pooled_params.keys() == fresh_params.keys()
         for name in pooled_params:
             assert np.array_equal(pooled_params[name], fresh_params[name]), name
+
+
+class TestStepScopeExceptionSafety:
+    def test_clean_exit_recycles_checkouts(self):
+        pool = BufferArena(min_bytes=0)
+        with pool.step_scope():
+            pool.empty(BIG, np.float64)
+        assert pool.stats()["checked_out"] == 0
+        assert pool.stats()["free_bytes"] > 0
+
+    def test_exception_forgets_instead_of_recycling(self):
+        """A dying step must not donate aliased buffers to the next one.
+
+        The traceback (and the half-built graph it references) may still
+        hold the checkouts, so on an exception the scope forgets them —
+        the next scope's checkout is a fresh allocation, never an alias
+        of a buffer the failed step can still see.
+        """
+        pool = BufferArena(min_bytes=0)
+        with pytest.raises(RuntimeError, match="boom"):
+            with pool.step_scope():
+                leaked = pool.empty(BIG, np.float64)
+                raise RuntimeError("boom")
+        stats = pool.stats()
+        assert stats["checked_out"] == 0  # not leaked into bookkeeping
+        assert stats["free_bytes"] == 0   # and not recycled either
+        with pool.step_scope():
+            fresh = pool.empty(BIG, np.float64)
+            assert fresh is not leaked
+
+    def test_exception_in_nested_scope_unwinds_all_depths(self):
+        pool = BufferArena(min_bytes=0)
+        with pytest.raises(ValueError):
+            with pool.step_scope():
+                with pool.step_scope():
+                    pool.empty(BIG, np.float64)
+                    raise ValueError("inner")
+        assert pool.stats()["checked_out"] == 0
+        # The pool still works normally afterwards.
+        with pool.step_scope():
+            first = pool.empty(BIG, np.float64)
+        with pool.step_scope():
+            assert pool.empty(BIG, np.float64) is first
+
+
+class TestPlannedArena:
+    def test_reserve_then_materialize_views(self):
+        plan = PlannedArena()
+        a = plan.reserve((4, 8), np.float64)
+        b = plan.reserve(16, np.float32)
+        views = plan.materialize()
+        assert [v.shape for v in views] == [(4, 8), (16,)]
+        assert [v.dtype for v in views] == [np.float64, np.float32]
+        assert plan.view(a) is views[0] and plan.view(b) is views[1]
+        assert plan.materialize() is views  # idempotent
+
+    def test_slots_are_aligned_and_disjoint(self):
+        plan = PlannedArena(alignment=64)
+        indices = [plan.reserve((3, 5), np.float64),
+                   plan.reserve(7, np.float32),
+                   plan.reserve((2, 2, 2), np.float64)]
+        views = plan.materialize()
+        base = views[0].ctypes.data  # offsets are relative to the block
+        for view in views:
+            assert (view.ctypes.data - base) % 64 == 0
+        for i, slot in enumerate(indices):
+            plan.view(slot)[...] = float(i + 1)
+        for i, slot in enumerate(indices):  # no overlap between slots
+            assert np.all(plan.view(slot) == float(i + 1))
+        stats = plan.stats()
+        assert stats["slots"] == 3
+        assert stats["planned_bytes"] % 64 == 0
+        assert stats["materialized"] == 1
+
+    def test_reserve_after_materialize_is_an_error(self):
+        plan = PlannedArena()
+        plan.reserve(8, np.float64)
+        plan.materialize()
+        with pytest.raises(RuntimeError, match="materialized"):
+            plan.reserve(8, np.float64)
+
+    def test_fresh_views_mirror_the_reserved_slots(self):
+        plan = PlannedArena()
+        plan.reserve((4, 8), np.float64)
+        plan.reserve(16, np.float32)
+        planned = plan.materialize()
+        fresh = plan.fresh_views()
+        assert [v.shape for v in fresh] == [v.shape for v in planned]
+        assert [v.dtype for v in fresh] == [v.dtype for v in planned]
+        # The oracle path allocates anew — never aliases the block.
+        for oracle, pooled in zip(fresh, planned):
+            assert not np.shares_memory(oracle, pooled)
+
+    def test_alignment_must_be_a_power_of_two(self):
+        with pytest.raises(ValueError):
+            PlannedArena(alignment=0)
+        with pytest.raises(ValueError):
+            PlannedArena(alignment=48)

@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.data import PRESETS, leave_one_out
+from repro.engine.precision import use_index_dtype
 from repro.eval.full_ranking import evaluate_full_ranking, full_ranking_topk
 from repro.graph.reorder import (
     REORDER_STRATEGIES,
@@ -260,3 +261,65 @@ def test_train_config_resolves_reorder_and_block(monkeypatch):
         TrainConfig(epochs=1, reorder="zigzag")
     with pytest.raises(ValueError):
         TrainConfig(epochs=1, spmm_block=-1)
+
+
+# ----------------------------------------------------------------------
+# int32 index-dtype policy boundary
+# ----------------------------------------------------------------------
+def test_arrays_roundtrip_under_int32_index_policy(base_split):
+    """`to_arrays`/`from_arrays` is exact under the int32 index policy.
+
+    The production int32 policy narrows working index arrays, so a
+    permutation may come back from a snapshot as int32; the rebuild
+    must still produce the canonical int64 arrays bit for bit, and the
+    id mappings must keep working while the policy is active.
+    """
+    with use_index_dtype("int32"):
+        perm = build_permutation(base_split.dataset, "degree",
+                                 train_pairs=base_split.train_pairs)
+        arrays = {name: values.astype(np.int32)
+                  for name, values in perm.to_arrays().items()}
+        rebuilt = NodePermutation.from_arrays(arrays, strategy="degree")
+        assert rebuilt.user_perm.dtype == np.int64
+        assert rebuilt.item_perm.dtype == np.int64
+        np.testing.assert_array_equal(rebuilt.user_perm, perm.user_perm)
+        np.testing.assert_array_equal(rebuilt.item_perm, perm.item_perm)
+        users = np.arange(base_split.dataset.num_users, dtype=np.int32)
+        np.testing.assert_array_equal(
+            rebuilt.original_users(rebuilt.map_users(users)), users)
+
+
+def test_checkpoint_restores_permutation_under_int32_policy(base_split,
+                                                            tmp_path):
+    """Checkpoint save→load round-trips the permutation at int32 policy.
+
+    Saving under the default int64 policy and restoring under
+    ``REPRO_ENGINE_INDEX_DTYPE=int32`` (and the reverse) must hand back
+    the identical permutation and map parameter rows to the same
+    original ids — the policy governs working-set width, never the
+    persisted arrays.
+    """
+    split, perm = reorder_split(base_split, "rcm")
+    user_emb, item_emb = _fixed_tables(base_split)
+    model = _FixedModel(perm.permute_user_rows(user_emb),
+                        perm.permute_item_rows(item_emb))
+
+    saved_default = tmp_path / "default_policy.npz"
+    save_checkpoint(model, saved_default, epoch=3, permutation=perm)
+    with use_index_dtype("int32"):
+        saved_narrow = tmp_path / "int32_policy.npz"
+        save_checkpoint(model, saved_narrow, epoch=3, permutation=perm)
+        for path in (saved_default, saved_narrow):
+            state, meta = load_checkpoint(path)
+            assert meta["has_permutation"]
+            assert meta["reorder_strategy"] == "rcm"
+            restored = meta["permutation"]
+            np.testing.assert_array_equal(restored.user_perm, perm.user_perm)
+            np.testing.assert_array_equal(restored.item_perm, perm.item_perm)
+            np.testing.assert_array_equal(
+                restored.restore_user_rows(state["user_emb"]), user_emb)
+
+    # The narrow-policy checkpoint also restores under the default.
+    state, meta = load_checkpoint(saved_narrow)
+    np.testing.assert_array_equal(
+        meta["permutation"].restore_item_rows(state["item_emb"]), item_emb)
